@@ -1,0 +1,20 @@
+//! Prior-work comparators for the Figure 12 evaluation.
+//!
+//! - [`droplet`]: a DROPLET-style **memory-side indirect prefetcher**: it
+//!   snoops demand fetches of an index array `B` at the shared L2 and
+//!   issues prefetches for the dependent `A[B[i]]` lines into the LLC.
+//!   Like the original, it needs no core changes but adds hardware at the
+//!   memory side and prefetches *speculatively into the cache* (no
+//!   program-order data supply).
+//! - [`swdec`]: the **software-only decoupling** library — a shared-memory
+//!   SPSC ring buffer with head/tail indices polled at the coherence
+//!   point. This is the paper's "software decoupling" baseline (Figure 8):
+//!   it provides the DAE programming model but no latency-tolerance
+//!   hardware, so an Access thread with a 1-deep instruction window still
+//!   stalls on every IMA.
+//! - The DeSC comparator is split between [`maple_cpu::desc`] (the coupled
+//!   queues + terminal loads, i.e. the core modification) and the
+//!   workloads that emit its instructions.
+
+pub mod droplet;
+pub mod swdec;

@@ -1,0 +1,41 @@
+//! Figure 10: load-instruction overhead of prefetching, normalized to no
+//! prefetching.
+//!
+//! Paper result: software prefetching roughly doubles the number of load
+//! instructions (the re-computed indices), while MAPLE *reduces* them
+//! slightly — wide consumes pop two 32-bit words per load.
+
+use maple_bench::experiments::{find, prefetch_suite};
+use maple_bench::{print_banner, SpeedupTable};
+
+fn main() {
+    print_banner(
+        "Figure 10 — normalized load-instruction count (single thread)",
+        "sw-prefetch ≈ 2x loads; MAPLE slightly below 1x",
+    );
+    let rows = prefetch_suite();
+    let mut table = SpeedupTable::new(&["no-pref", "sw-pref", "maple-lima"]);
+    for (app, ds) in maple_bench::experiments::app_datasets() {
+        let base = find(&rows, &app, &ds, "doall");
+        let sw = find(&rows, &app, &ds, "sw-pref");
+        let lima = find(&rows, &app, &ds, "maple-lima");
+        table.add_row(
+            format!("{app}/{ds}"),
+            vec![
+                1.0,
+                sw.loads as f64 / base.loads as f64,
+                lima.loads as f64 / base.loads as f64,
+            ],
+        );
+    }
+    table.print();
+    let g = table.geomeans();
+    println!(
+        "\nsw-prefetch load overhead (geomean): {:.2}x   [paper: ~2x]",
+        g[1]
+    );
+    println!(
+        "MAPLE load count (geomean):          {:.2}x   [paper: slightly < 1x]",
+        g[2]
+    );
+}

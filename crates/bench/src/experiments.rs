@@ -1,0 +1,260 @@
+//! Shared experiment execution for the figure binaries.
+//!
+//! Suites run the workload/variant matrices of Section 5 and cache their
+//! measurements in `target/bench-cache/*.tsv` (delete the file to force a
+//! re-run), so Figures 9, 10 and 11 — three views of the same runs — pay
+//! for the simulation once.
+
+use std::fs;
+use std::path::PathBuf;
+
+use maple_workloads::{RunStats, Variant};
+
+use crate::instances;
+
+/// One measured (app, dataset, variant) cell.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Application name.
+    pub app: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Variant label.
+    pub variant: String,
+    /// Cycles to completion.
+    pub cycles: u64,
+    /// Load instructions retired.
+    pub loads: u64,
+    /// Mean load-to-use latency.
+    pub load_latency: f64,
+    /// Result matched the host reference.
+    pub verified: bool,
+}
+
+impl Measurement {
+    fn from_stats(app: &str, dataset: &str, variant: &str, s: &RunStats) -> Self {
+        Measurement {
+            app: app.into(),
+            dataset: dataset.into(),
+            variant: variant.into(),
+            cycles: s.cycles,
+            loads: s.loads,
+            load_latency: s.mean_load_latency,
+            verified: s.verified,
+        }
+    }
+
+    fn to_tsv(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.app,
+            self.dataset,
+            self.variant,
+            self.cycles,
+            self.loads,
+            self.load_latency,
+            self.verified
+        )
+    }
+
+    fn from_tsv(line: &str) -> Option<Self> {
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() != 7 {
+            return None;
+        }
+        Some(Measurement {
+            app: f[0].into(),
+            dataset: f[1].into(),
+            variant: f[2].into(),
+            cycles: f[3].parse().ok()?,
+            loads: f[4].parse().ok()?,
+            load_latency: f[5].parse().ok()?,
+            verified: f[6].parse().ok()?,
+        })
+    }
+
+    /// Lookup key.
+    #[must_use]
+    pub fn key(&self) -> (String, String, String) {
+        (self.app.clone(), self.dataset.clone(), self.variant.clone())
+    }
+}
+
+fn cache_path(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../target/bench-cache");
+    let _ = fs::create_dir_all(&p);
+    p.push(format!("{name}.tsv"));
+    p
+}
+
+fn load_cache(name: &str) -> Option<Vec<Measurement>> {
+    let text = fs::read_to_string(cache_path(name)).ok()?;
+    let rows: Vec<Measurement> = text.lines().filter_map(Measurement::from_tsv).collect();
+    if rows.is_empty() {
+        None
+    } else {
+        Some(rows)
+    }
+}
+
+fn store_cache(name: &str, rows: &[Measurement]) {
+    let text: String = rows.iter().map(|m| m.to_tsv() + "\n").collect();
+    let _ = fs::write(cache_path(name), text);
+}
+
+/// Runs (or loads from cache) a suite of cases. `run` executes one case.
+fn suite(
+    name: &str,
+    cases: Vec<(String, String, Variant, usize)>,
+    run: impl Fn(&str, &str, Variant, usize) -> RunStats,
+) -> Vec<Measurement> {
+    if let Some(cached) = load_cache(name) {
+        eprintln!("[{name}] using cached measurements ({} rows); delete target/bench-cache/{name}.tsv to re-run", cached.len());
+        return cached;
+    }
+    let total = cases.len();
+    let mut out = Vec::with_capacity(total);
+    for (i, (app, ds, variant, threads)) in cases.into_iter().enumerate() {
+        eprintln!(
+            "[{name}] ({}/{total}) {app}/{ds}/{} t={threads}...",
+            i + 1,
+            variant.label()
+        );
+        let stats = run(&app, &ds, variant, threads);
+        assert!(
+            stats.verified,
+            "{app}/{ds}/{} failed verification",
+            variant.label()
+        );
+        out.push(Measurement::from_stats(&app, &ds, variant.label(), &stats));
+    }
+    store_cache(name, &out);
+    out
+}
+
+/// Dispatches one case to the right workload.
+fn run_case(app: &str, ds: &str, variant: Variant, threads: usize) -> RunStats {
+    match app {
+        "sdhp" => {
+            let inst = instances::sdhp()
+                .into_iter()
+                .find(|(l, _)| *l == ds)
+                .expect("dataset")
+                .1;
+            inst.run(variant, threads)
+        }
+        "spmm" => {
+            let inst = instances::spmm()
+                .into_iter()
+                .find(|(l, _)| *l == ds)
+                .expect("dataset")
+                .1;
+            inst.run(variant, threads)
+        }
+        "spmv" => {
+            let inst = instances::spmv()
+                .into_iter()
+                .find(|(l, _)| *l == ds)
+                .expect("dataset")
+                .1;
+            inst.run(variant, threads)
+        }
+        "bfs" => {
+            let inst = instances::bfs()
+                .into_iter()
+                .find(|(l, _)| *l == ds)
+                .expect("dataset")
+                .1;
+            inst.run(variant, threads)
+        }
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Every (app, dataset) pair of the evaluation.
+#[must_use]
+pub fn app_datasets() -> Vec<(String, String)> {
+    let mut v = Vec::new();
+    for (l, _) in instances::sdhp() {
+        v.push(("sdhp".into(), l.into()));
+    }
+    for (l, _) in instances::spmm() {
+        v.push(("spmm".into(), l.into()));
+    }
+    for (l, _) in instances::spmv() {
+        v.push(("spmv".into(), l.into()));
+    }
+    for (l, _) in instances::bfs() {
+        v.push(("bfs".into(), l.into()));
+    }
+    v
+}
+
+fn matrix(variants: &[(Variant, usize)]) -> Vec<(String, String, Variant, usize)> {
+    let mut cases = Vec::new();
+    for (app, ds) in app_datasets() {
+        for &(v, t) in variants {
+            cases.push((app.clone(), ds.clone(), v, t));
+        }
+    }
+    cases
+}
+
+/// Figure 8 suite: 2-thread do-all, software decoupling, MAPLE
+/// decoupling.
+#[must_use]
+pub fn decoupling_suite() -> Vec<Measurement> {
+    suite(
+        "fig08",
+        matrix(&[
+            (Variant::Doall, 2),
+            (Variant::SwDecoupled, 2),
+            (Variant::MapleDecoupled, 2),
+        ]),
+        run_case,
+    )
+}
+
+/// Figures 9–11 suite: single-thread no-prefetch, software prefetching,
+/// MAPLE LIMA.
+#[must_use]
+pub fn prefetch_suite() -> Vec<Measurement> {
+    suite(
+        "fig09",
+        matrix(&[
+            (Variant::Doall, 1),
+            (Variant::SwPrefetch { dist: 16 }, 1),
+            (Variant::MapleLima, 1),
+        ]),
+        run_case,
+    )
+}
+
+/// Figure 12 suite: 2-thread do-all, MAPLE decoupling, DeSC, DROPLET.
+#[must_use]
+pub fn prior_work_suite() -> Vec<Measurement> {
+    suite(
+        "fig12",
+        matrix(&[
+            (Variant::Doall, 2),
+            (Variant::MapleDecoupled, 2),
+            (Variant::Desc, 2),
+            (Variant::Droplet, 2),
+        ]),
+        run_case,
+    )
+}
+
+/// Finds a measurement.
+#[must_use]
+pub fn find<'a>(
+    rows: &'a [Measurement],
+    app: &str,
+    ds: &str,
+    variant: &str,
+) -> &'a Measurement {
+    rows.iter()
+        .find(|m| m.app == app && m.dataset == ds && m.variant == variant)
+        .unwrap_or_else(|| panic!("no measurement for {app}/{ds}/{variant}"))
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation (Section 5) on the simulated SoC.
+//!
+//! Each figure has a binary (`fig08` … `fig15`, `queue_sweep`, `area`,
+//! `tables`) that runs the workload/variant matrix and prints the paper's
+//! rows alongside the measured values. The [`instances`] module pins the
+//! evaluation-grade problem sizes (gather targets far larger than the
+//! caches), and [`report`] renders the result tables.
+
+pub mod experiments;
+pub mod instances;
+pub mod report;
+
+pub use report::{print_banner, SpeedupTable};

@@ -1,0 +1,92 @@
+//! Result-table rendering shared by the figure binaries.
+
+use maple_sim::stats::geomean;
+
+/// Prints the figure banner.
+pub fn print_banner(figure: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("{figure}");
+    println!("paper: {paper_claim}");
+    println!("================================================================");
+}
+
+/// A speedup table: rows are `(app, dataset)` pairs, columns are
+/// variants, cells are speedups over the row's baseline.
+#[derive(Debug, Default)]
+pub struct SpeedupTable {
+    columns: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl SpeedupTable {
+    /// Creates a table with the given variant columns.
+    #[must_use]
+    pub fn new(columns: &[&str]) -> Self {
+        SpeedupTable {
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a row of speedups (same order as the columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn add_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "column count mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Geometric mean per column.
+    #[must_use]
+    pub fn geomeans(&self) -> Vec<f64> {
+        (0..self.columns.len())
+            .map(|c| geomean(&self.rows.iter().map(|(_, v)| v[c]).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    /// Renders the table with a geomean footer.
+    pub fn print(&self) {
+        print!("{:<22}", "workload");
+        for c in &self.columns {
+            print!("{c:>12}");
+        }
+        println!();
+        for (label, values) in &self.rows {
+            print!("{label:<22}");
+            for v in values {
+                print!("{v:>11.2}x");
+            }
+            println!();
+        }
+        print!("{:<22}", "geomean");
+        for g in self.geomeans() {
+            print!("{g:>11.2}x");
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomeans_per_column() {
+        let mut t = SpeedupTable::new(&["a", "b"]);
+        t.add_row("w1", vec![2.0, 1.0]);
+        t.add_row("w2", vec![8.0, 1.0]);
+        let g = t.geomeans();
+        assert!((g[0] - 4.0).abs() < 1e-12);
+        assert!((g[1] - 1.0).abs() < 1e-12);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_arity_checked() {
+        let mut t = SpeedupTable::new(&["a"]);
+        t.add_row("w", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Area model for the RTL implementation (Section 5.4).
+//!
+//! The paper reports MAPLE at **1.1 % of an Ariane core** from the 12 nm
+//! tape-out synthesis, and criticizes storage-only ("bitcount") estimates in
+//! prior work for ignoring FSMs, muxes and combinational logic. This model
+//! therefore accounts for both: SRAM/CAM/flop storage from the configured
+//! geometry, plus a logic overhead factor per pipeline calibrated against
+//! the published synthesis ratio.
+//!
+//! Densities are representative 12 nm figures: they make the *relative*
+//! area claims auditable (what dominates, how area scales with queues and
+//! scratchpad) rather than reproducing a foundry report.
+
+use crate::engine::MapleConfig;
+
+/// Representative 12 nm densities.
+mod density {
+    /// µm² per SRAM bit (high-density single-port).
+    pub const SRAM_BIT: f64 = 0.021;
+    /// µm² per CAM bit (TLB search structure).
+    pub const CAM_BIT: f64 = 0.09;
+    /// µm² per flip-flop (including local clocking).
+    pub const FLOP: f64 = 0.35;
+    /// Combinational-logic multiplier applied to sequential area per
+    /// pipeline (decoders, muxes, FSMs — the part bitcount models omit).
+    pub const LOGIC_FACTOR: f64 = 1.9;
+}
+
+/// Ariane (CVA6) core area in mm² at 12 nm, scaled from the published
+/// 22FDX figure (≈0.5 mm² @ 22 nm) by the nominal node shrink.
+pub const ARIANE_CORE_MM2: f64 = 0.21;
+
+/// Per-component area breakdown in mm².
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBreakdown {
+    /// Scratchpad SRAM (queues).
+    pub scratchpad: f64,
+    /// Queue controller (head/tail/state flops + logic).
+    pub queue_controller: f64,
+    /// MMU: TLB CAM + PTW state machine.
+    pub mmu: f64,
+    /// Produce/Consume/Config pipelines (buffers, decoders, encoders).
+    pub pipelines: f64,
+    /// LIMA unit (address generator + chunk tracking).
+    pub lima: f64,
+}
+
+impl AreaBreakdown {
+    /// Total engine area in mm².
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.scratchpad + self.queue_controller + self.mmu + self.pipelines + self.lima
+    }
+
+    /// Engine area as a fraction of one Ariane core.
+    #[must_use]
+    pub fn fraction_of_ariane(&self) -> f64 {
+        self.total() / ARIANE_CORE_MM2
+    }
+}
+
+/// Computes the area of one MAPLE instance from its configuration.
+#[must_use]
+pub fn engine_area(cfg: &MapleConfig) -> AreaBreakdown {
+    let um2_to_mm2 = 1e-6;
+
+    // Scratchpad: pure SRAM.
+    let scratchpad_bits = cfg.scratchpad_bytes as f64 * 8.0;
+    let scratchpad = scratchpad_bits * density::SRAM_BIT * um2_to_mm2;
+
+    // Queue controller: per-queue head/tail/count registers (3 × 16 bits)
+    // plus per-slot valid bits, with logic overhead.
+    let qc_flops = cfg.queues as f64 * (3.0 * 16.0) + cfg.queues as f64 * 64.0;
+    let queue_controller = qc_flops * density::FLOP * density::LOGIC_FACTOR * um2_to_mm2;
+
+    // MMU: TLB entries are ~(vpn 27 + ppn 28 + flags 8) bits of CAM+RAM,
+    // plus a PTW FSM (~200 flops).
+    let tlb_bits = cfg.tlb_entries as f64 * 63.0;
+    let mmu = (tlb_bits * density::CAM_BIT + 200.0 * density::FLOP)
+        * density::LOGIC_FACTOR
+        * um2_to_mm2;
+
+    // Pipelines: buffered ops (3 pipelines × ~4 entries × 80 bits) plus
+    // NoC encode/decode.
+    let pipe_flops = 3.0 * 4.0 * 80.0 + 300.0;
+    let pipelines = pipe_flops * density::FLOP * density::LOGIC_FACTOR * um2_to_mm2;
+
+    // LIMA: command queue + chunk trackers + address generator.
+    let lima_flops =
+        cfg.lima_cmd_depth as f64 * 120.0 + cfg.lima_chunks_inflight as f64 * 60.0 + 100.0;
+    let lima = lima_flops * density::FLOP * density::LOGIC_FACTOR * um2_to_mm2;
+
+    AreaBreakdown {
+        scratchpad,
+        queue_controller,
+        mmu,
+        pipelines,
+        lima,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_config_is_about_one_percent_of_ariane() {
+        let a = engine_area(&MapleConfig::default());
+        let frac = a.fraction_of_ariane();
+        assert!(
+            (0.005..0.02).contains(&frac),
+            "expected ≈1.1% of Ariane, got {:.2}%",
+            frac * 100.0
+        );
+    }
+
+    #[test]
+    fn area_scales_with_scratchpad() {
+        let small = engine_area(&MapleConfig::default());
+        let big = engine_area(&MapleConfig {
+            scratchpad_bytes: 4096,
+            ..MapleConfig::default()
+        });
+        assert!(big.total() > small.total());
+        assert!(big.scratchpad > 3.0 * small.scratchpad);
+    }
+
+    #[test]
+    fn breakdown_components_positive() {
+        let a = engine_area(&MapleConfig::default());
+        for v in [a.scratchpad, a.queue_controller, a.mmu, a.pipelines, a.lima] {
+            assert!(v > 0.0);
+        }
+        let sum = a.scratchpad + a.queue_controller + a.mmu + a.pipelines + a.lima;
+        assert!((sum - a.total()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,934 @@
+//! The MAPLE engine: microarchitecture of Figure 6 as a timing model.
+//!
+//! One engine instance owns:
+//!
+//! - a **Configuration pipeline** (non-blocking) for queue setup, LIMA
+//!   programming, driver operations and performance-counter reads;
+//! - a **Produce pipeline** that accepts `PRODUCE`/`PRODUCE_PTR`/`PREFETCH`
+//!   stores, translates pointers through the engine MMU, reserves queue
+//!   slots (the slot index is the memory transaction ID used to restore
+//!   program order), and issues the memory fetches;
+//! - a **Consume pipeline** that answers `CONSUME` loads, buffering them
+//!   while the queue is empty (no polling);
+//! - the **queue controller** with its scratchpad-resident circular FIFOs;
+//! - the **LIMA unit** that fetches loops of indirect accesses `A[B[i]]`
+//!   by streaming `B` in 64-byte chunks and feeding pointer-produces or LLC
+//!   prefetches into the Produce path;
+//! - a 16-entry TLB plus hardware page-table walker, with page-fault
+//!   interrupts and shootdown support.
+//!
+//! The separate pipelines avoid deadlock: a full queue buffers only its own
+//! produce operations; traffic to other queues keeps flowing.
+
+use std::collections::{HashMap, VecDeque};
+
+use maple_mem::l2::OutboundResp;
+use maple_mem::msg::{MemReq, MemReqKind, MemResp};
+use maple_mem::phys::{PAddr, PhysMem, LINE_SIZE};
+use maple_noc::Coord;
+use maple_sim::link::DelayQueue;
+use maple_sim::stats::Counter;
+use maple_sim::Cycle;
+use maple_vm::page_table::{PageFault, PageTable};
+use maple_vm::tlb::Tlb;
+use maple_vm::walker::walk_latency;
+use maple_vm::{VAddr, VirtPage};
+
+use crate::mmio::{
+    decode_config_queue, decode_lima_go, decode_lima_range, decode_load, decode_store, LoadOp,
+    StoreOp,
+};
+use crate::queue::{QueueController, Slot};
+
+/// Engine configuration (RTL parameters fixed at tape-out).
+#[derive(Debug, Clone, Copy)]
+pub struct MapleConfig {
+    /// Hardware queues per instance (paper: 8).
+    pub queues: usize,
+    /// Shared scratchpad capacity (paper: 1 KB).
+    pub scratchpad_bytes: u64,
+    /// Default entries per queue (paper: 32).
+    pub default_entries: usize,
+    /// Default entry size in bytes (paper: 4).
+    pub default_entry_bytes: u8,
+    /// NoC-decoder + dispatch latency for incoming operations.
+    pub decode_latency: u64,
+    /// Response-path latency (pipeline exit + NoC encoder).
+    pub respond_latency: u64,
+    /// Engine TLB entries (paper: 16).
+    pub tlb_entries: usize,
+    /// Latency of one PTW level (one L2 read).
+    pub ptw_read_latency: u64,
+    /// LIMA command queue depth.
+    pub lima_cmd_depth: usize,
+    /// Outstanding 64-byte `B` chunks LIMA keeps in flight.
+    pub lima_chunks_inflight: usize,
+    /// Indirect elements LIMA feeds into the Produce path per cycle.
+    pub lima_rate: usize,
+}
+
+impl Default for MapleConfig {
+    fn default() -> Self {
+        MapleConfig {
+            queues: 8,
+            scratchpad_bytes: 1024,
+            default_entries: 32,
+            default_entry_bytes: 4,
+            decode_latency: 2,
+            respond_latency: 2,
+            tlb_entries: 16,
+            ptw_read_latency: 30,
+            lima_cmd_depth: 4,
+            lima_chunks_inflight: 4,
+            lima_rate: 2,
+        }
+    }
+}
+
+/// A pending page fault raised by the engine MMU (the interrupt payload the
+/// MAPLE driver reads back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineFault {
+    /// The virtual address that faulted.
+    pub vaddr: VAddr,
+    /// The architectural fault.
+    pub fault: PageFault,
+}
+
+/// Engine performance counters (exposed through the debug/stat MMIO ops).
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Memory fetches the engine issued (pointer produces + LIMA).
+    pub mem_fetches: Counter,
+    /// Speculative prefetches pushed into the LLC.
+    pub llc_prefetches: Counter,
+    /// Page faults raised.
+    pub faults: Counter,
+    /// LIMA commands completed.
+    pub lima_completed: Counter,
+    /// Produce operations buffered because their queue was full.
+    pub produce_stalls: Counter,
+    /// Consume operations buffered because their queue was empty.
+    pub consume_stalls: Counter,
+    /// Memory responses discarded because their transaction was dropped
+    /// by a `RESET` while the reply crossed the NoC.
+    pub stale_responses: Counter,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ProducePayload {
+    /// Immediate data.
+    Data(u64),
+    /// A pointer to fetch (non-coherent DRAM path unless `coherent`).
+    Ptr { va: VAddr, coherent: bool },
+    /// Extension: a pointer to atomically update at the L2 serialization
+    /// point; the old value is enqueued in program order.
+    AmoPtr {
+        va: VAddr,
+        kind: maple_mem::phys::AmoKind,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingProduce {
+    payload: ProducePayload,
+    /// Where and how to acknowledge the store once accepted.
+    ack_dst: Coord,
+    ack_id: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingConsume {
+    dst: Coord,
+    id: u64,
+    size: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FetchPurpose {
+    /// A pointer-produce fetch destined for a queue slot.
+    QueueFill { q: u8, slot: Slot },
+    /// A LIMA chunk of the `B` array.
+    LimaChunk { seq: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LimaCmd {
+    a_base: VAddr,
+    b_base: VAddr,
+    lo: u32,
+    hi: u32,
+    speculative: bool,
+    queue: u8,
+    a_elem: u8,
+    b_elem: u8,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LimaChunkRec {
+    seq: u64,
+    /// Number of B elements in this chunk.
+    count: u32,
+    /// Physical base of the chunk (translation done at fetch time).
+    paddr: PAddr,
+    ready: bool,
+}
+
+#[derive(Debug)]
+struct LimaActive {
+    cmd: LimaCmd,
+    /// Next B index to fetch (chunk-granular).
+    next_fetch: u32,
+    /// Chunks in flight or awaiting processing, in order.
+    chunks: VecDeque<LimaChunkRec>,
+    /// Index of the next element to process within the head chunk.
+    head_pos: u32,
+    next_chunk_seq: u64,
+}
+
+/// The MAPLE engine. Wire it to a tile: deliver incoming MMIO requests with
+/// [`Engine::accept`], memory responses with [`Engine::on_mem_resp`], call
+/// [`Engine::tick`] each cycle, and drain [`Engine::pop_mem_request`] /
+/// [`Engine::pop_response`] into the NoC.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: MapleConfig,
+    queues: QueueController,
+    tlb: Tlb,
+    page_table: Option<PageTable>,
+    walker_free_at: Cycle,
+    fault: Option<EngineFault>,
+    incoming: DelayQueue<MemReq>,
+    produce_pending: Vec<VecDeque<PendingProduce>>,
+    /// Per-queue operand register for the atomic-produce extension.
+    amo_operand: Vec<u64>,
+    prefetch_pending: VecDeque<PendingProduce>,
+    consume_pending: Vec<VecDeque<PendingConsume>>,
+    open_owner: Vec<Option<Coord>>,
+    out_resp: DelayQueue<OutboundResp>,
+    out_mem: VecDeque<MemReq>,
+    next_txid: u64,
+    inflight: HashMap<u64, FetchPurpose>,
+    lima_regs: (VAddr, VAddr, u32, u32), // staged A, B, lo, hi
+    lima_cmds: VecDeque<LimaCmd>,
+    lima_go_pending: VecDeque<(Coord, u64, LimaCmd)>,
+    lima: Option<LimaActive>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Creates an idle engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the default queue shape exceeds the scratchpad budget.
+    #[must_use]
+    pub fn new(cfg: MapleConfig) -> Self {
+        let queues = QueueController::new(
+            cfg.queues,
+            cfg.default_entries,
+            cfg.default_entry_bytes,
+            cfg.scratchpad_bytes,
+        )
+        .expect("default queue configuration must fit the scratchpad");
+        Engine {
+            queues,
+            tlb: Tlb::new(cfg.tlb_entries),
+            page_table: None,
+            walker_free_at: Cycle::ZERO,
+            fault: None,
+            incoming: DelayQueue::new(),
+            produce_pending: (0..cfg.queues).map(|_| VecDeque::new()).collect(),
+            amo_operand: vec![0; cfg.queues],
+            prefetch_pending: VecDeque::new(),
+            consume_pending: (0..cfg.queues).map(|_| VecDeque::new()).collect(),
+            open_owner: vec![None; cfg.queues],
+            out_resp: DelayQueue::new(),
+            out_mem: VecDeque::new(),
+            next_txid: 0,
+            inflight: HashMap::new(),
+            lima_regs: (VAddr(0), VAddr(0), 0, 0),
+            lima_cmds: VecDeque::new(),
+            lima_go_pending: VecDeque::new(),
+            lima: None,
+            stats: EngineStats::default(),
+            cfg,
+        }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> MapleConfig {
+        self.cfg
+    }
+
+    /// Programs the MMU root (driver path; also reachable via the
+    /// `SET_PT_ROOT` MMIO store).
+    pub fn set_page_table(&mut self, pt: PageTable) {
+        self.page_table = Some(pt);
+    }
+
+    /// The pending fault, if the engine raised one (the interrupt line).
+    #[must_use]
+    pub fn fault(&self) -> Option<EngineFault> {
+        self.fault
+    }
+
+    /// Driver: clear the fault after fixing the page tables; the stalled
+    /// operation retries.
+    pub fn resolve_fault(&mut self) {
+        self.fault = None;
+    }
+
+    /// Invalidate the engine TLB entry for a page (Linux shootdown
+    /// callback; also reachable via the `TLB_SHOOTDOWN` MMIO store).
+    pub fn tlb_shootdown(&mut self, vpn: VirtPage) {
+        self.tlb.shootdown(vpn);
+    }
+
+    /// Engine statistics.
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// TLB miss count (for `STAT_TLB_MISSES`).
+    #[must_use]
+    pub fn tlb_misses(&self) -> u64 {
+        self.tlb.misses()
+    }
+
+    /// Direct read access to a queue (tests, occupancy sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[must_use]
+    pub fn queue(&self, q: u8) -> &crate::queue::FifoQueue {
+        self.queues.queue(q)
+    }
+
+    /// Whether the engine holds no in-flight work at all.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.incoming.is_empty()
+            && self.inflight.is_empty()
+            && self.out_mem.is_empty()
+            && self.out_resp.is_empty()
+            && self.lima.is_none()
+            && self.lima_cmds.is_empty()
+            && self.lima_go_pending.is_empty()
+            && self.produce_pending.iter().all(VecDeque::is_empty)
+            && self.prefetch_pending.is_empty()
+            && self.consume_pending.iter().all(VecDeque::is_empty)
+    }
+
+    /// Accepts an MMIO request from the NoC (a core's load or store to this
+    /// instance's page).
+    pub fn accept(&mut self, now: Cycle, req: MemReq) {
+        self.incoming.send(now, self.cfg.decode_latency, req);
+    }
+
+    /// Delivers a response to one of the engine's own memory fetches.
+    ///
+    /// Responses for unknown transactions — possible after a `RESET`
+    /// dropped the in-flight state while replies were still crossing the
+    /// NoC — are counted and discarded, as the RTL's decoder does.
+    pub fn on_mem_resp(&mut self, _now: Cycle, resp: MemResp, mem: &PhysMem) {
+        let Some(purpose) = self.inflight.remove(&resp.id) else {
+            self.stats.stale_responses.inc();
+            return;
+        };
+        match purpose {
+            FetchPurpose::QueueFill { q, slot, .. } => {
+                let _ = mem; // data travels in the response
+                self.queues.queue_mut(q).fill(slot, resp.data);
+            }
+            FetchPurpose::LimaChunk { seq } => {
+                if let Some(active) = &mut self.lima {
+                    if let Some(c) = active.chunks.iter_mut().find(|c| c.seq == seq) {
+                        c.ready = true;
+                    }
+                }
+                // A reset may have dropped the active command; stale chunk
+                // responses are ignored.
+            }
+        }
+    }
+
+    /// Pops the engine's next outbound memory request (`reply_to` is filled
+    /// in by the host tile).
+    pub fn pop_mem_request(&mut self) -> Option<MemReq> {
+        self.out_mem.pop_front()
+    }
+
+    /// Pops a response (ack or data) ready for a core.
+    pub fn pop_response(&mut self, now: Cycle) -> Option<OutboundResp> {
+        self.out_resp.recv(now)
+    }
+
+    fn fresh_txid(&mut self) -> u64 {
+        let id = self.next_txid;
+        self.next_txid += 1;
+        id
+    }
+
+    fn respond(&mut self, now: Cycle, dst: Coord, id: u64, data: u64) {
+        self.out_resp.send(
+            now,
+            self.cfg.respond_latency,
+            OutboundResp {
+                dst,
+                resp: MemResp { id, data },
+                flits: MemResp::flits(false),
+            },
+        );
+    }
+
+    /// Engine-side translation. Returns the physical address, or `None`
+    /// while the walker is busy or a fault is pending (the op retries).
+    fn translate(&mut self, now: Cycle, mem: &PhysMem, va: VAddr) -> Option<PAddr> {
+        if self.fault.is_some() {
+            return None; // MMU stalled until the driver resolves the fault
+        }
+        if now < self.walker_free_at {
+            // Walker busy: serve TLB hits without perturbing the hit/miss
+            // counters (retries behind the walker are not new misses).
+            return self
+                .tlb
+                .probe(va.page())
+                .map(|e| e.frame.offset(va.page_offset()));
+        }
+        if let Some(e) = self.tlb.lookup(va.page()) {
+            return Some(e.frame.offset(va.page_offset()));
+        }
+        let pt = self
+            .page_table
+            .expect("engine used before the driver programmed its MMU");
+        self.walker_free_at = now.plus(walk_latency(self.cfg.ptw_read_latency));
+        match pt.translate_checked(mem, va, false) {
+            Ok(t) => {
+                let frame = PAddr(t.paddr.0 & !(maple_mem::PAGE_SIZE - 1));
+                self.tlb.insert(va.page(), frame, t.flags);
+                // The result is architecturally available once the walk
+                // completes; the op retries and hits the TLB then.
+                None
+            }
+            Err(fault) => {
+                self.stats.faults.inc();
+                self.fault = Some(EngineFault { vaddr: va, fault });
+                None
+            }
+        }
+    }
+
+    /// Advances the engine one cycle.
+    pub fn tick(&mut self, now: Cycle, mem: &mut PhysMem) {
+        self.dispatch_incoming(now);
+        self.produce_stage(now, mem);
+        self.prefetch_stage(now, mem);
+        self.lima_stage(now, mem);
+        self.consume_stage(now);
+    }
+
+    fn dispatch_incoming(&mut self, now: Cycle) {
+        while let Some(req) = self.incoming.recv(now) {
+            let offset = req.addr.page_offset();
+            match req.kind {
+                MemReqKind::Write { data, ack, .. } => {
+                    debug_assert!(ack, "MMIO stores are synchronous");
+                    let Some((op, q)) = decode_store(offset) else {
+                        self.respond(now, req.reply_to, req.id, u64::MAX);
+                        continue;
+                    };
+                    self.handle_store(now, req.reply_to, req.id, op, q, data);
+                }
+                MemReqKind::ReadWord { size } => {
+                    let Some((op, q)) = decode_load(offset) else {
+                        self.respond(now, req.reply_to, req.id, u64::MAX);
+                        continue;
+                    };
+                    self.handle_load(now, req.reply_to, req.id, op, q, size);
+                }
+                other => {
+                    debug_assert!(false, "unexpected MMIO request kind {other:?}");
+                }
+            }
+        }
+    }
+
+    fn handle_store(
+        &mut self,
+        now: Cycle,
+        dst: Coord,
+        id: u64,
+        op: StoreOp,
+        q: u8,
+        data: u64,
+    ) {
+        match op {
+            StoreOp::Produce => {
+                self.produce_pending[usize::from(q)].push_back(PendingProduce {
+                    payload: ProducePayload::Data(data),
+                    ack_dst: dst,
+                    ack_id: id,
+                });
+            }
+            StoreOp::ProducePtr => {
+                self.produce_pending[usize::from(q)].push_back(PendingProduce {
+                    payload: ProducePayload::Ptr {
+                        va: VAddr(data),
+                        coherent: false,
+                    },
+                    ack_dst: dst,
+                    ack_id: id,
+                });
+            }
+            StoreOp::ProducePtrLlc => {
+                self.produce_pending[usize::from(q)].push_back(PendingProduce {
+                    payload: ProducePayload::Ptr {
+                        va: VAddr(data),
+                        coherent: true,
+                    },
+                    ack_dst: dst,
+                    ack_id: id,
+                });
+            }
+            StoreOp::Prefetch => {
+                self.prefetch_pending.push_back(PendingProduce {
+                    payload: ProducePayload::Ptr {
+                        va: VAddr(data),
+                        coherent: true,
+                    },
+                    ack_dst: dst,
+                    ack_id: id,
+                });
+            }
+            StoreOp::ConfigQueue => {
+                let (entries, entry_bytes) = decode_config_queue(data);
+                let ok = self
+                    .queues
+                    .reconfigure(q, entries as usize, entry_bytes)
+                    .is_ok();
+                self.respond(now, dst, id, u64::from(ok));
+            }
+            StoreOp::LimaABase => {
+                self.lima_regs.0 = VAddr(data);
+                self.respond(now, dst, id, 0);
+            }
+            StoreOp::LimaBBase => {
+                self.lima_regs.1 = VAddr(data);
+                self.respond(now, dst, id, 0);
+            }
+            StoreOp::LimaRange => {
+                let (lo, hi) = decode_lima_range(data);
+                self.lima_regs.2 = lo;
+                self.lima_regs.3 = hi;
+                self.respond(now, dst, id, 0);
+            }
+            StoreOp::LimaGo => {
+                let (speculative, b_elem, a_elem) = decode_lima_go(data);
+                if !matches!(a_elem, 4 | 8) || !matches!(b_elem, 4 | 8) {
+                    self.respond(now, dst, id, 0); // malformed: rejected
+                    return;
+                }
+                let cmd = LimaCmd {
+                    a_base: self.lima_regs.0,
+                    b_base: self.lima_regs.1,
+                    lo: self.lima_regs.2,
+                    hi: self.lima_regs.3,
+                    speculative,
+                    queue: q,
+                    a_elem,
+                    b_elem,
+                };
+                if self.lima_cmds.len() < self.cfg.lima_cmd_depth {
+                    self.lima_cmds.push_back(cmd);
+                    self.respond(now, dst, id, 1);
+                } else {
+                    // Command queue full: buffer the launch and withhold
+                    // the store ack (same no-overflow backpressure as the
+                    // Produce pipeline).
+                    self.lima_go_pending.push_back((dst, id, cmd));
+                }
+            }
+            StoreOp::SetPtRoot => {
+                self.page_table = Some(PageTable::from_root(PAddr(data)));
+                self.respond(now, dst, id, 0);
+            }
+            StoreOp::TlbShootdown => {
+                self.tlb.shootdown(VAddr(data).page());
+                self.respond(now, dst, id, 0);
+            }
+            StoreOp::Reset => {
+                let root = self.page_table;
+                let cfg = self.cfg;
+                let stats = std::mem::take(&mut self.stats);
+                // Transaction IDs must keep advancing across a reset:
+                // responses for dropped transactions may still be crossing
+                // the NoC and must never alias new ones.
+                let next_txid = self.next_txid;
+                *self = Engine::new(cfg);
+                self.page_table = root;
+                self.stats = stats;
+                self.next_txid = next_txid;
+                self.respond(now, dst, id, 0);
+            }
+            StoreOp::Close => {
+                self.open_owner[usize::from(q)] = None;
+                self.respond(now, dst, id, 0);
+            }
+            StoreOp::FaultResume => {
+                self.fault = None;
+                self.respond(now, dst, id, 0);
+            }
+            StoreOp::ProduceAmoAdd => {
+                self.produce_pending[usize::from(q)].push_back(PendingProduce {
+                    payload: ProducePayload::AmoPtr {
+                        va: VAddr(data),
+                        kind: maple_mem::phys::AmoKind::Add,
+                    },
+                    ack_dst: dst,
+                    ack_id: id,
+                });
+            }
+            StoreOp::ProduceAmoMin => {
+                self.produce_pending[usize::from(q)].push_back(PendingProduce {
+                    payload: ProducePayload::AmoPtr {
+                        va: VAddr(data),
+                        kind: maple_mem::phys::AmoKind::MinU,
+                    },
+                    ack_dst: dst,
+                    ack_id: id,
+                });
+            }
+            StoreOp::SetAmoOperand => {
+                self.amo_operand[usize::from(q)] = data;
+                self.respond(now, dst, id, 0);
+            }
+        }
+    }
+
+    fn handle_load(&mut self, now: Cycle, dst: Coord, id: u64, op: LoadOp, q: u8, size: u8) {
+        match op {
+            LoadOp::Consume => {
+                self.consume_pending[usize::from(q)].push_back(PendingConsume {
+                    dst,
+                    id,
+                    size,
+                });
+            }
+            LoadOp::Open => {
+                let owner = &mut self.open_owner[usize::from(q)];
+                let granted = match owner {
+                    None => {
+                        *owner = Some(dst);
+                        true
+                    }
+                    Some(o) => *o == dst,
+                };
+                self.respond(now, dst, id, u64::from(granted));
+            }
+            LoadOp::StatProduced => {
+                let v = self.queues.queue(q).produced.get();
+                self.respond(now, dst, id, v);
+            }
+            LoadOp::StatConsumed => {
+                let v = self.queues.queue(q).consumed.get();
+                self.respond(now, dst, id, v);
+            }
+            LoadOp::StatOccupancy => {
+                let v = self.queues.queue(q).occupancy() as u64;
+                self.respond(now, dst, id, v);
+            }
+            LoadOp::StatMemFetches => {
+                self.respond(now, dst, id, self.stats.mem_fetches.get());
+            }
+            LoadOp::StatTlbMisses => {
+                self.respond(now, dst, id, self.tlb.misses());
+            }
+            LoadOp::FaultVa => {
+                let va = self.fault.map_or(0, |f| f.vaddr.0);
+                self.respond(now, dst, id, va);
+            }
+        }
+    }
+
+    /// Issues a non-coherent (or coherent) word fetch feeding queue `q`.
+    fn issue_queue_fetch(&mut self, q: u8, slot: Slot, paddr: PAddr, coherent: bool) {
+        let size = self.queues.queue(q).entry_bytes();
+        let id = self.fresh_txid();
+        self.inflight.insert(id, FetchPurpose::QueueFill { q, slot });
+        self.stats.mem_fetches.inc();
+        self.out_mem.push_back(MemReq {
+            id,
+            addr: paddr,
+            kind: if coherent {
+                MemReqKind::ReadWord { size }
+            } else {
+                MemReqKind::ReadWordDram { size }
+            },
+            reply_to: Coord::default(),
+        });
+    }
+
+    fn produce_stage(&mut self, now: Cycle, mem: &mut PhysMem) {
+        for qi in 0..self.cfg.queues {
+            let Some(head) = self.produce_pending[qi].front().copied() else {
+                continue;
+            };
+            let q = qi as u8;
+            if self.queues.queue(q).is_full() {
+                self.stats.produce_stalls.inc();
+                continue; // buffered; only this queue stalls
+            }
+            match head.payload {
+                ProducePayload::Data(v) => {
+                    self.queues
+                        .queue_mut(q)
+                        .push(v)
+                        .expect("checked not full");
+                    self.produce_pending[qi].pop_front();
+                    self.respond(now, head.ack_dst, head.ack_id, 0);
+                }
+                ProducePayload::Ptr { va, coherent } => {
+                    let Some(paddr) = self.translate(now, mem, va) else {
+                        continue; // walker busy or fault pending: retry
+                    };
+                    let slot = self
+                        .queues
+                        .queue_mut(q)
+                        .reserve()
+                        .expect("checked not full");
+                    self.issue_queue_fetch(q, slot, paddr, coherent);
+                    self.produce_pending[qi].pop_front();
+                    // Store acked as soon as the produce is accepted
+                    // (paper step 4): the Access thread moves on while the
+                    // fetch is in flight.
+                    self.respond(now, head.ack_dst, head.ack_id, 0);
+                }
+                ProducePayload::AmoPtr { va, kind } => {
+                    let Some(paddr) = self.translate(now, mem, va) else {
+                        continue;
+                    };
+                    let slot = self
+                        .queues
+                        .queue_mut(q)
+                        .reserve()
+                        .expect("checked not full");
+                    let size = self.queues.queue(q).entry_bytes();
+                    let txid = self.fresh_txid();
+                    self.inflight
+                        .insert(txid, FetchPurpose::QueueFill { q, slot });
+                    self.stats.mem_fetches.inc();
+                    self.out_mem.push_back(MemReq {
+                        id: txid,
+                        addr: paddr,
+                        kind: MemReqKind::Amo {
+                            kind,
+                            size,
+                            operand: self.amo_operand[qi],
+                        },
+                        reply_to: Coord::default(),
+                    });
+                    self.produce_pending[qi].pop_front();
+                    self.respond(now, head.ack_dst, head.ack_id, 0);
+                }
+            }
+        }
+    }
+
+    fn prefetch_stage(&mut self, now: Cycle, mem: &mut PhysMem) {
+        let Some(head) = self.prefetch_pending.front().copied() else {
+            return;
+        };
+        let ProducePayload::Ptr { va, .. } = head.payload else {
+            unreachable!("prefetch ops always carry pointers");
+        };
+        // Speculative: a fault drops the prefetch instead of interrupting.
+        if self.fault.is_some() {
+            return;
+        }
+        if let Some(e) = self.tlb.lookup(va.page()) {
+            let paddr = e.frame.offset(va.page_offset());
+            self.stats.llc_prefetches.inc();
+            let id = self.fresh_txid();
+            self.out_mem.push_back(MemReq {
+                id,
+                addr: paddr,
+                kind: MemReqKind::PrefetchLine,
+                reply_to: Coord::default(),
+            });
+            self.prefetch_pending.pop_front();
+            self.respond(now, head.ack_dst, head.ack_id, 0);
+            return;
+        }
+        if now < self.walker_free_at {
+            return;
+        }
+        let pt = self.page_table.expect("engine MMU unprogrammed");
+        self.walker_free_at = now.plus(walk_latency(self.cfg.ptw_read_latency));
+        match pt.translate_checked(mem, va, false) {
+            Ok(t) => {
+                let frame = PAddr(t.paddr.0 & !(maple_mem::PAGE_SIZE - 1));
+                self.tlb.insert(va.page(), frame, t.flags);
+            }
+            Err(_) => {
+                // Speculative prefetch to an unmapped page: drop silently.
+                self.prefetch_pending.pop_front();
+                self.respond(now, head.ack_dst, head.ack_id, 0);
+            }
+        }
+    }
+
+    fn lima_stage(&mut self, now: Cycle, mem: &mut PhysMem) {
+        // Drain buffered launches as command-queue slots free up, acking
+        // the stalled stores.
+        while self.lima_cmds.len() < self.cfg.lima_cmd_depth {
+            let Some((dst, id, cmd)) = self.lima_go_pending.pop_front() else {
+                break;
+            };
+            self.lima_cmds.push_back(cmd);
+            self.respond(now, dst, id, 1);
+        }
+        if self.lima.is_none() {
+            if let Some(cmd) = self.lima_cmds.pop_front() {
+                self.lima = Some(LimaActive {
+                    next_fetch: cmd.lo,
+                    chunks: VecDeque::new(),
+                    head_pos: 0,
+                    next_chunk_seq: 0,
+                    cmd,
+                });
+            }
+        }
+        let Some(mut active) = self.lima.take() else {
+            return;
+        };
+
+        // Fetch stage: stream B in 64-byte chunks.
+        while active.next_fetch < active.cmd.hi
+            && active.chunks.len() < self.cfg.lima_chunks_inflight
+        {
+            let elem = u64::from(active.cmd.b_elem);
+            let va = active.cmd.b_base.offset(u64::from(active.next_fetch) * elem);
+            let Some(paddr) = self.translate(now, mem, va) else {
+                break; // walker busy or fault: resume later
+            };
+            // Elements until the end of this 64-byte line (and this page).
+            let line_room = (LINE_SIZE - paddr.line_offset()) / elem;
+            let count = u64::from(active.cmd.hi - active.next_fetch)
+                .min(line_room)
+                .max(1) as u32;
+            let seq = active.next_chunk_seq;
+            active.next_chunk_seq += 1;
+            let id = self.fresh_txid();
+            self.inflight.insert(id, FetchPurpose::LimaChunk { seq });
+            self.stats.mem_fetches.inc();
+            self.out_mem.push_back(MemReq {
+                id,
+                addr: paddr.line_base(),
+                kind: MemReqKind::ReadLineDram,
+                reply_to: Coord::default(),
+            });
+            active.chunks.push_back(LimaChunkRec {
+                seq,
+                count,
+                paddr,
+                ready: false,
+            });
+            active.next_fetch += count;
+        }
+
+        // Process stage: walk ready head chunks, feeding indirect fetches.
+        let mut budget = self.cfg.lima_rate;
+        while budget > 0 {
+            let Some(head) = active.chunks.front().copied() else {
+                break;
+            };
+            if !head.ready {
+                break;
+            }
+            if active.head_pos >= head.count {
+                active.chunks.pop_front();
+                active.head_pos = 0;
+                continue;
+            }
+            let b_elem = u64::from(head_elem(&active));
+            let b_paddr = head.paddr.offset(u64::from(active.head_pos) * b_elem);
+            let b_value = mem.read_uint(b_paddr, active.cmd.b_elem);
+            let target = active
+                .cmd
+                .a_base
+                .offset(b_value.wrapping_mul(u64::from(active.cmd.a_elem)));
+            if active.cmd.speculative {
+                // Speculative: prefetch A[b] into the LLC.
+                let Some(paddr) = self.translate(now, mem, target) else {
+                    if self.fault.is_some() {
+                        // LIMA prefetches are speculative: skip the element.
+                        self.fault = None;
+                        active.head_pos += 1;
+                        continue;
+                    }
+                    break;
+                };
+                self.stats.llc_prefetches.inc();
+                let id = self.fresh_txid();
+                self.out_mem.push_back(MemReq {
+                    id,
+                    addr: paddr,
+                    kind: MemReqKind::PrefetchLine,
+                    reply_to: Coord::default(),
+                });
+                active.head_pos += 1;
+            } else {
+                // Non-speculative: pointer-produce into the target queue.
+                let q = active.cmd.queue;
+                if self.queues.queue(q).is_full() {
+                    self.stats.produce_stalls.inc();
+                    break;
+                }
+                let Some(paddr) = self.translate(now, mem, target) else {
+                    break; // fault raised or walker busy: resume later
+                };
+                let slot = self
+                    .queues
+                    .queue_mut(q)
+                    .reserve()
+                    .expect("checked not full");
+                self.issue_queue_fetch(q, slot, paddr, false);
+                active.head_pos += 1;
+            }
+            budget -= 1;
+        }
+
+        // Completed?
+        if active.next_fetch >= active.cmd.hi && active.chunks.is_empty() {
+            self.stats.lima_completed.inc();
+        } else {
+            self.lima = Some(active);
+        }
+    }
+
+    fn consume_stage(&mut self, now: Cycle) {
+        for qi in 0..self.cfg.queues {
+            let Some(head) = self.consume_pending[qi].front().copied() else {
+                continue;
+            };
+            let q = qi as u8;
+            let entry_bytes = self.queues.queue(q).entry_bytes();
+            let n = (usize::from(head.size) / usize::from(entry_bytes)).max(1);
+            if let Some(data) = self.queues.queue_mut(q).pop_packed(n) {
+                self.consume_pending[qi].pop_front();
+                self.respond(now, head.dst, head.id, data);
+            } else {
+                self.stats.consume_stalls.inc();
+                // Buffered (no polling) until data arrives.
+            }
+        }
+    }
+}
+
+fn head_elem(active: &LimaActive) -> u8 {
+    active.cmd.b_elem
+}

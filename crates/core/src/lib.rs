@@ -1,0 +1,36 @@
+//! MAPLE — the Memory Access Parallel-Load Engine.
+//!
+//! This crate is the paper's primary contribution: a NoC-attached engine
+//! that supplies data for decoupled access/execute programs and prefetches
+//! loops of indirect memory accesses, **without modifying cores, ISA, or
+//! memory hierarchy**. Cores drive it with plain loads and stores to a
+//! memory-mapped page ([`mmio`]); internally it is the microarchitecture of
+//! the paper's Figure 6 ([`engine::Engine`]): Config/Produce/Consume
+//! pipelines, scratchpad circular FIFOs with slot-index transaction IDs
+//! ([`queue`]), an MMU with a 16-entry TLB and hardware page-table walker,
+//! and the LIMA unit. [`area`] reproduces the Section 5.4 area analysis.
+//!
+//! # Example: pointer-produce and consume, engine-level
+//!
+//! ```
+//! use maple_core::engine::{Engine, MapleConfig};
+//! use maple_core::mmio::{store_offset, StoreOp};
+//! # fn main() {
+//! let engine = Engine::new(MapleConfig::default());
+//! // A core produces a pointer by storing it at the PRODUCE_PTR offset of
+//! // the engine's MMIO page:
+//! let offset = store_offset(StoreOp::ProducePtr, 0);
+//! assert!(offset < 4096);
+//! assert!(engine.is_idle());
+//! # }
+//! ```
+
+pub mod area;
+pub mod engine;
+pub mod mmio;
+pub mod queue;
+
+#[cfg(test)]
+mod tests;
+
+pub use engine::{Engine, EngineFault, EngineStats, MapleConfig};

@@ -1,0 +1,272 @@
+//! The MAPLE MMIO encoding.
+//!
+//! Each MAPLE instance occupies one 4 KiB physical page. Following Section
+//! 3.6 of the paper, the word index within the page is re-purposed to carry
+//! the operation: bits 3–8 of the page offset encode the op code (64 load
+//! ops + 64 store ops) and bits 9–11 select one of up to eight hardware
+//! queues. User code therefore drives the engine entirely with ordinary
+//! loads and stores to `instance_base + offset(op, queue)`.
+
+/// Bit position of the op-code field within a page offset.
+const OP_SHIFT: u64 = 3;
+/// Bit position of the queue field within a page offset.
+const QUEUE_SHIFT: u64 = 9;
+
+/// Operations encoded in *store* accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum StoreOp {
+    /// Enqueue the stored data into the queue (decoupling `PRODUCE`).
+    Produce = 0,
+    /// Treat the stored data as a virtual pointer: translate, fetch
+    /// non-coherently from DRAM, enqueue the response in program order
+    /// (`PRODUCE_PTR`).
+    ProducePtr = 1,
+    /// Like [`StoreOp::ProducePtr`] but fetched coherently via the LLC.
+    ProducePtrLlc = 2,
+    /// Speculative prefetch of the pointed-to line into the LLC
+    /// (`PREFETCH`).
+    Prefetch = 3,
+    /// Configure the queue: low 32 bits = entry count, bits 32–39 = entry
+    /// size in bytes (4 or 8).
+    ConfigQueue = 4,
+    /// LIMA: set the base virtual address of the data array `A`.
+    LimaABase = 5,
+    /// LIMA: set the base virtual address of the index array `B`.
+    LimaBBase = 6,
+    /// LIMA: set the index range, `lo` in the low 32 bits, `hi` in the
+    /// high 32 bits.
+    LimaRange = 7,
+    /// LIMA: launch. Bit 0 selects the target (0 = non-speculative into
+    /// the addressed queue, 1 = speculative into the LLC); bits 8–15 the
+    /// element size of `B`; bits 16–23 the element size of `A`.
+    LimaGo = 8,
+    /// Driver only: program the page-table root into the engine MMU.
+    SetPtRoot = 9,
+    /// Driver only: invalidate the engine TLB entry for the stored
+    /// virtual address (shootdown callback).
+    TlbShootdown = 10,
+    /// Reset all engine state (the API's `INIT`).
+    Reset = 11,
+    /// Release the addressed queue (`CLOSE`).
+    Close = 12,
+    /// Driver only: retry the operation that faulted (`FAULT_RESUME`).
+    FaultResume = 13,
+    /// Extension (paper §3: "easily extensible to incorporate … RMW
+    /// atomic operations"): treat the stored data as a pointer, perform
+    /// an atomic fetch-add of the queue's operand register at the L2
+    /// serialization point, and enqueue the *old* value in program order.
+    ProduceAmoAdd = 14,
+    /// Extension: like [`StoreOp::ProduceAmoAdd`] with unsigned fetch-min.
+    ProduceAmoMin = 15,
+    /// Extension: set the queue's atomic operand register (the addend for
+    /// fetch-add, the bound for fetch-min).
+    SetAmoOperand = 16,
+}
+
+/// Operations encoded in *load* accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LoadOp {
+    /// Pop the head of the queue (decoupling `CONSUME`). An 8-byte load
+    /// from a 4-byte-entry queue pops two entries at once.
+    Consume = 0,
+    /// Claim exclusive use of the queue; returns 1 on success (`OPEN`).
+    Open = 1,
+    /// Performance counter: entries ever produced into the queue.
+    StatProduced = 2,
+    /// Performance counter: entries ever consumed from the queue.
+    StatConsumed = 3,
+    /// Performance counter: current queue occupancy.
+    StatOccupancy = 4,
+    /// Performance counter: memory fetches issued by the engine.
+    StatMemFetches = 5,
+    /// Performance counter: engine TLB misses.
+    StatTlbMisses = 6,
+    /// Driver only: the faulting virtual address (0 when no fault is
+    /// pending).
+    FaultVa = 7,
+}
+
+/// Encodes the page offset for a store operation on `queue`.
+///
+/// # Panics
+///
+/// Panics if `queue >= 8`.
+#[must_use]
+pub fn store_offset(op: StoreOp, queue: u8) -> u64 {
+    assert!(queue < 8, "MAPLE exposes at most 8 queues per instance");
+    (u64::from(queue) << QUEUE_SHIFT) | ((op as u64) << OP_SHIFT)
+}
+
+/// Encodes the page offset for a load operation on `queue`.
+///
+/// # Panics
+///
+/// Panics if `queue >= 8`.
+#[must_use]
+pub fn load_offset(op: LoadOp, queue: u8) -> u64 {
+    assert!(queue < 8, "MAPLE exposes at most 8 queues per instance");
+    (u64::from(queue) << QUEUE_SHIFT) | ((op as u64) << OP_SHIFT)
+}
+
+/// Decodes a store offset. Returns `None` for unknown op codes.
+#[must_use]
+pub fn decode_store(offset: u64) -> Option<(StoreOp, u8)> {
+    let queue = ((offset >> QUEUE_SHIFT) & 0x7) as u8;
+    let op = match (offset >> OP_SHIFT) & 0x3f {
+        0 => StoreOp::Produce,
+        1 => StoreOp::ProducePtr,
+        2 => StoreOp::ProducePtrLlc,
+        3 => StoreOp::Prefetch,
+        4 => StoreOp::ConfigQueue,
+        5 => StoreOp::LimaABase,
+        6 => StoreOp::LimaBBase,
+        7 => StoreOp::LimaRange,
+        8 => StoreOp::LimaGo,
+        9 => StoreOp::SetPtRoot,
+        10 => StoreOp::TlbShootdown,
+        11 => StoreOp::Reset,
+        12 => StoreOp::Close,
+        13 => StoreOp::FaultResume,
+        14 => StoreOp::ProduceAmoAdd,
+        15 => StoreOp::ProduceAmoMin,
+        16 => StoreOp::SetAmoOperand,
+        _ => return None,
+    };
+    Some((op, queue))
+}
+
+/// Decodes a load offset. Returns `None` for unknown op codes.
+#[must_use]
+pub fn decode_load(offset: u64) -> Option<(LoadOp, u8)> {
+    let queue = ((offset >> QUEUE_SHIFT) & 0x7) as u8;
+    let op = match (offset >> OP_SHIFT) & 0x3f {
+        0 => LoadOp::Consume,
+        1 => LoadOp::Open,
+        2 => LoadOp::StatProduced,
+        3 => LoadOp::StatConsumed,
+        4 => LoadOp::StatOccupancy,
+        5 => LoadOp::StatMemFetches,
+        6 => LoadOp::StatTlbMisses,
+        7 => LoadOp::FaultVa,
+        _ => return None,
+    };
+    Some((op, queue))
+}
+
+/// Packs the `CONFIG_QUEUE` payload.
+#[must_use]
+pub fn config_queue_payload(entries: u32, entry_bytes: u8) -> u64 {
+    u64::from(entries) | (u64::from(entry_bytes) << 32)
+}
+
+/// Unpacks the `CONFIG_QUEUE` payload.
+#[must_use]
+pub fn decode_config_queue(payload: u64) -> (u32, u8) {
+    (payload as u32, ((payload >> 32) & 0xff) as u8)
+}
+
+/// Packs the `LIMA_RANGE` payload.
+#[must_use]
+pub fn lima_range_payload(lo: u32, hi: u32) -> u64 {
+    u64::from(lo) | (u64::from(hi) << 32)
+}
+
+/// Unpacks the `LIMA_RANGE` payload into `(lo, hi)`.
+#[must_use]
+pub fn decode_lima_range(payload: u64) -> (u32, u32) {
+    (payload as u32, (payload >> 32) as u32)
+}
+
+/// Packs the `LIMA_GO` payload.
+#[must_use]
+pub fn lima_go_payload(speculative: bool, b_elem: u8, a_elem: u8) -> u64 {
+    u64::from(speculative) | (u64::from(b_elem) << 8) | (u64::from(a_elem) << 16)
+}
+
+/// Unpacks the `LIMA_GO` payload into `(speculative, b_elem, a_elem)`.
+#[must_use]
+pub fn decode_lima_go(payload: u64) -> (bool, u8, u8) {
+    (
+        payload & 1 != 0,
+        ((payload >> 8) & 0xff) as u8,
+        ((payload >> 16) & 0xff) as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrip_all_ops() {
+        for op in [
+            StoreOp::Produce,
+            StoreOp::ProducePtr,
+            StoreOp::ProducePtrLlc,
+            StoreOp::Prefetch,
+            StoreOp::ConfigQueue,
+            StoreOp::LimaABase,
+            StoreOp::LimaBBase,
+            StoreOp::LimaRange,
+            StoreOp::LimaGo,
+            StoreOp::SetPtRoot,
+            StoreOp::TlbShootdown,
+            StoreOp::Reset,
+            StoreOp::Close,
+            StoreOp::FaultResume,
+            StoreOp::ProduceAmoAdd,
+            StoreOp::ProduceAmoMin,
+            StoreOp::SetAmoOperand,
+        ] {
+            for q in 0..8 {
+                let off = store_offset(op, q);
+                assert!(off < 4096, "offset stays within the page");
+                assert_eq!(decode_store(off), Some((op, q)));
+            }
+        }
+    }
+
+    #[test]
+    fn load_roundtrip_all_ops() {
+        for op in [
+            LoadOp::Consume,
+            LoadOp::Open,
+            LoadOp::StatProduced,
+            LoadOp::StatConsumed,
+            LoadOp::StatOccupancy,
+            LoadOp::StatMemFetches,
+            LoadOp::StatTlbMisses,
+            LoadOp::FaultVa,
+        ] {
+            for q in 0..8 {
+                assert_eq!(decode_load(load_offset(op, q)), Some((op, q)));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_rejected() {
+        assert_eq!(decode_store(63 << OP_SHIFT), None);
+        assert_eq!(decode_load(63 << OP_SHIFT), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 queues")]
+    fn queue_out_of_range_panics() {
+        let _ = store_offset(StoreOp::Produce, 8);
+    }
+
+    #[test]
+    fn payload_packing() {
+        let p = config_queue_payload(32, 4);
+        assert_eq!(decode_config_queue(p), (32, 4));
+        let r = lima_range_payload(10, 500);
+        assert_eq!(decode_lima_range(r), (10, 500));
+        let g = lima_go_payload(true, 4, 8);
+        assert_eq!(decode_lima_go(g), (true, 4, 8));
+        let g = lima_go_payload(false, 8, 4);
+        assert_eq!(decode_lima_go(g), (false, 8, 4));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the scratchpad FIFO queues — the invariants the
+//! paper verified with SystemVerilog assertions and JasperGold:
+//! no overflow, no underflow, FIFO order, and program-order restoration
+//! under arbitrary memory-response reordering.
+
+use maple_core::queue::{FifoQueue, QueueController, QueueError, Slot};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u64),
+    Reserve,
+    /// Fill the i-th oldest outstanding reservation (mod count).
+    Fill(usize, u64),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u64>().prop_map(Op::Push),
+        Just(Op::Reserve),
+        (any::<usize>(), any::<u64>()).prop_map(|(i, v)| Op::Fill(i, v)),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn queue_matches_reference_model(
+        capacity in 1usize..64,
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        let mut q = FifoQueue::new(capacity, 8);
+        // Reference model: FIFO of either a value or a pending ticket.
+        let mut model: VecDeque<Option<u64>> = VecDeque::new();
+        let outstanding: Vec<(Slot, usize)> = Vec::new(); // (slot, model idx disabled)
+        let mut pending_slots: Vec<Slot> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let expect_full = model.len() >= capacity;
+                    match q.push(v) {
+                        Ok(()) => {
+                            prop_assert!(!expect_full, "push succeeded on full queue");
+                            model.push_back(Some(v));
+                        }
+                        Err(QueueError::Full) => prop_assert!(expect_full),
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+                Op::Reserve => {
+                    let expect_full = model.len() >= capacity;
+                    match q.reserve() {
+                        Ok(slot) => {
+                            prop_assert!(!expect_full);
+                            model.push_back(None);
+                            pending_slots.push(slot);
+                        }
+                        Err(QueueError::Full) => prop_assert!(expect_full),
+                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                    }
+                }
+                Op::Fill(i, v) => {
+                    if pending_slots.is_empty() {
+                        continue;
+                    }
+                    let idx = i % pending_slots.len();
+                    let slot = pending_slots.remove(idx);
+                    q.fill(slot, v);
+                    // Patch the model: the idx-th unfilled entry becomes v.
+                    let mut seen = 0;
+                    for e in &mut model {
+                        if e.is_none() {
+                            if seen == idx {
+                                *e = Some(v);
+                                break;
+                            }
+                            seen += 1;
+                        }
+                    }
+                }
+                Op::Pop => {
+                    let expect = match model.front() {
+                        Some(Some(v)) => Some(*v),
+                        _ => None,
+                    };
+                    let got = q.pop();
+                    prop_assert_eq!(got, expect, "pop mismatch");
+                    if got.is_some() {
+                        model.pop_front();
+                    }
+                }
+            }
+            prop_assert_eq!(q.occupancy(), model.len());
+            prop_assert_eq!(q.is_full(), model.len() >= capacity);
+            let _ = &outstanding;
+        }
+    }
+
+    #[test]
+    fn out_of_order_fills_always_pop_in_program_order(
+        values in proptest::collection::vec(any::<u64>(), 1..32),
+        order_seed in any::<u64>(),
+    ) {
+        let n = values.len();
+        let mut q = FifoQueue::new(n, 8);
+        let slots: Vec<Slot> = (0..n).map(|_| q.reserve().unwrap()).collect();
+        // Fill in a pseudo-random order.
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = maple_sim::rng::SimRng::seed(order_seed);
+        rng.shuffle(&mut idx);
+        for &i in &idx {
+            q.fill(slots[i], values[i]);
+        }
+        // Pops return the original program order.
+        for v in &values {
+            prop_assert_eq!(q.pop(), Some(*v));
+        }
+        prop_assert!(q.is_empty());
+    }
+}
+
+#[test]
+fn controller_budget_is_a_hard_invariant() {
+    // Exhaustive small-space check: any (count, entries, bytes) whose
+    // product exceeds the scratchpad is refused.
+    for count in 1..=8usize {
+        for entries in [1usize, 8, 16, 32, 64] {
+            for bytes in [4u8, 8] {
+                let need = (count * entries * usize::from(bytes)) as u64;
+                let r = QueueController::new(count, entries, bytes, 1024);
+                assert_eq!(r.is_ok(), need <= 1024, "{count}x{entries}x{bytes}");
+            }
+        }
+    }
+}

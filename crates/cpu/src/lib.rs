@@ -1,0 +1,666 @@
+//! The in-order, single-issue timing core.
+//!
+//! Models the evaluation platforms' slim cores (RISC-V Ariane on FPGA,
+//! instruction window of 1 in simulation — Tables 2 and 3): one instruction
+//! per cycle peak, **blocking loads** (the pipeline stalls until the L1
+//! responds — this is the stall MAPLE exists to hide), a per-core 16-entry
+//! TLB backed by a hardware page-table walker, and an owned write-through
+//! L1. MMIO pages (MAPLE instances) are reached through ordinary loads and
+//! stores, routed by the page flags the TLB returns.
+//!
+//! The core executes [`maple_isa::Program`]s over real data in
+//! [`maple_mem::PhysMem`], so kernels compute actual results that tests
+//! compare against host references.
+
+pub mod desc;
+
+use maple_isa::{AtomicOp, Inst, LdClass, Operand, Program, Reg, NUM_REGS};
+use maple_mem::l1::{CoreOp, CoreReq, L1Cache, L1Config, L1Reject};
+use maple_mem::msg::{MemReq, MemResp};
+use maple_mem::phys::{AmoKind, PhysMem};
+use maple_sim::stats::Counter;
+use maple_sim::Cycle;
+use maple_vm::page_table::{PageFault, PageTable, Translation};
+use maple_vm::tlb::Tlb;
+use maple_vm::walker::walk_latency;
+use maple_vm::{VAddr, VirtPage};
+
+use crate::desc::{DescQueues, SlotTicket};
+use std::collections::HashMap;
+
+/// Core timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuConfig {
+    /// L1 data cache configuration.
+    pub l1: L1Config,
+    /// TLB entries (paper: 16, fully associative).
+    pub tlb_entries: usize,
+    /// Latency of one page-table-walk level (one L2 read).
+    pub ptw_read_latency: u64,
+    /// Extra cycles charged for a taken branch (short in-order pipeline).
+    pub taken_branch_penalty: u64,
+    /// Outstanding terminal loads the DeSC Supply structure tracks.
+    pub desc_outstanding: usize,
+    /// Access latency of the DeSC coupled queues.
+    pub desc_queue_latency: u64,
+    /// Outstanding unacknowledged MMIO stores the store buffer tracks
+    /// (produce operations are synchronous at the *instruction* level —
+    /// they retire on the device ack — but the pipeline runs ahead until
+    /// this many acks are pending, exactly like ordinary stores in a
+    /// store buffer).
+    pub mmio_store_outstanding: usize,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            l1: L1Config::default(),
+            tlb_entries: 16,
+            ptw_read_latency: 30,
+            taken_branch_penalty: 1,
+            desc_outstanding: 16,
+            desc_queue_latency: 2,
+            mmio_store_outstanding: 8,
+        }
+    }
+}
+
+/// What the core is doing this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreState {
+    /// Executing (or ready to execute) instructions.
+    Running,
+    /// Blocked on a memory response.
+    WaitingMem,
+    /// Stopped at a `Halt`.
+    Halted,
+    /// Stopped on a page fault awaiting the OS.
+    Faulted,
+}
+
+/// Details of a pending page fault, for the OS handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultInfo {
+    /// The faulting virtual address.
+    pub vaddr: VAddr,
+    /// Whether the access was a write.
+    pub write: bool,
+    /// The architectural fault.
+    pub fault: PageFault,
+}
+
+/// Performance counters (Figures 10 and 11 derive from these plus the L1's
+/// latency histogram).
+#[derive(Debug, Clone, Default)]
+pub struct CpuStats {
+    /// Instructions retired.
+    pub instructions: Counter,
+    /// Load instructions retired (cacheable + volatile + MMIO consume).
+    pub loads: Counter,
+    /// Store instructions retired (including MMIO produce).
+    pub stores: Counter,
+    /// Atomic instructions retired.
+    pub atomics: Counter,
+    /// Software prefetches issued.
+    pub prefetches: Counter,
+    /// Cycles spent blocked on memory.
+    pub mem_stall_cycles: Counter,
+    /// Cycles spent blocked on page-table walks.
+    pub ptw_stall_cycles: Counter,
+    /// The cycle `Halt` retired, if it has.
+    pub halted_at: Option<Cycle>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Waiting {
+    /// A blocking response: write `rd` (if any) then continue.
+    Resp { id: u64, rd: Option<Reg> },
+}
+
+/// The in-order core, owning its L1 and TLB.
+#[derive(Debug)]
+pub struct Core {
+    /// Stable identifier (tile index) for debugging.
+    pub id: usize,
+    cfg: CpuConfig,
+    program: Program,
+    pc: usize,
+    regs: [u64; NUM_REGS],
+    state: CoreState,
+    waiting: Option<Waiting>,
+    fault: Option<FaultInfo>,
+    next_ready: Cycle,
+    tlb: Tlb,
+    page_table: PageTable,
+    l1: L1Cache,
+    next_req_id: u64,
+    /// DeSC terminal loads in flight: L1 transaction → queue slot.
+    desc_inflight: HashMap<u64, SlotTicket>,
+    /// Unacknowledged MMIO stores tracked by the store buffer.
+    mmio_inflight: std::collections::HashSet<u64>,
+    stats: CpuStats,
+}
+
+impl Core {
+    /// Creates a core that will run `program` under `page_table`.
+    #[must_use]
+    pub fn new(id: usize, cfg: CpuConfig, program: Program, page_table: PageTable) -> Self {
+        Core {
+            id,
+            program,
+            pc: 0,
+            regs: [0; NUM_REGS],
+            state: CoreState::Running,
+            waiting: None,
+            fault: None,
+            next_ready: Cycle::ZERO,
+            tlb: Tlb::new(cfg.tlb_entries),
+            page_table,
+            l1: L1Cache::new(cfg.l1),
+            next_req_id: 0,
+            desc_inflight: HashMap::new(),
+            mmio_inflight: std::collections::HashSet::new(),
+            stats: CpuStats::default(),
+            cfg,
+        }
+    }
+
+    /// Sets an argument register before the program starts.
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if r.0 != 0 {
+            self.regs[usize::from(r.0)] = value;
+        }
+    }
+
+    /// Reads a register (for tests and result extraction).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[usize::from(r.0)]
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> CoreState {
+        self.state
+    }
+
+    /// Whether the core has halted.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.state == CoreState::Halted
+    }
+
+    /// The pending page fault, if the core is faulted.
+    #[must_use]
+    pub fn fault(&self) -> Option<FaultInfo> {
+        self.fault
+    }
+
+    /// Resumes after the OS has serviced a fault; the faulting instruction
+    /// re-executes after `handler_latency` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not faulted.
+    pub fn resume_from_fault(&mut self, now: Cycle, handler_latency: u64) {
+        assert_eq!(self.state, CoreState::Faulted, "core is not faulted");
+        self.fault = None;
+        self.state = CoreState::Running;
+        self.next_ready = now.plus(handler_latency);
+    }
+
+    /// Performance counters.
+    #[must_use]
+    pub fn stats(&self) -> &CpuStats {
+        &self.stats
+    }
+
+    /// The owned L1's statistics (hit rates, load-latency histogram).
+    #[must_use]
+    pub fn l1_stats(&self) -> &maple_mem::l1::L1Stats {
+        self.l1.stats()
+    }
+
+    /// Pops the next outbound memory request (for NoC injection).
+    pub fn pop_mem_request(&mut self) -> Option<MemReq> {
+        self.l1.pop_outgoing()
+    }
+
+    /// Delivers a memory response that arrived over the NoC.
+    pub fn on_mem_resp(&mut self, now: Cycle, resp: MemResp, mem: &PhysMem) {
+        self.l1.on_mem_resp(now, resp, mem);
+    }
+
+    /// Flushes the TLB entry for one page (OS shootdown).
+    pub fn tlb_shootdown(&mut self, vpn: VirtPage) {
+        self.tlb.shootdown(vpn);
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        id
+    }
+
+    fn va(&self, base: Reg, offset: i64) -> VAddr {
+        VAddr(self.regs[usize::from(base.0)].wrapping_add(offset as u64))
+    }
+
+    fn operand(&self, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => self.regs[usize::from(r.0)],
+            Operand::Imm(v) => v as u64,
+        }
+    }
+
+    fn write_reg(&mut self, r: Reg, v: u64) {
+        if r.0 != 0 {
+            self.regs[usize::from(r.0)] = v;
+        }
+    }
+
+    /// Outcome of an instruction-side translation attempt.
+    fn translate(&mut self, now: Cycle, va: VAddr, write: bool) -> Translate {
+        if let Some(entry) = self.tlb.lookup(va.page()) {
+            let ok = if write {
+                entry.flags.write
+            } else {
+                entry.flags.read
+            };
+            if !ok {
+                return Translate::Fault(PageFault::Protection(va));
+            }
+            return Translate::Ok(Translation {
+                paddr: entry.frame.offset(va.page_offset()),
+                flags: entry.flags,
+            });
+        }
+        // TLB miss: the hardware walker performs WALK_LEVELS reads. The
+        // functional walk happens now; the latency is charged and the
+        // instruction re-issues (hitting the TLB next time).
+        Translate::PtwStarted(now.plus(walk_latency(self.cfg.ptw_read_latency)), write, va)
+    }
+
+    fn finish_walk(&mut self, mem: &PhysMem, va: VAddr, write: bool) -> Option<PageFault> {
+        match self.page_table.translate_checked(mem, va, write) {
+            Ok(t) => {
+                self.tlb
+                    .insert(va.page(), t.paddr.line_base_page(), t.flags);
+                None
+            }
+            Err(f) => Some(f),
+        }
+    }
+
+    fn raise_fault(&mut self, va: VAddr, write: bool, fault: PageFault) {
+        self.state = CoreState::Faulted;
+        self.fault = Some(FaultInfo {
+            vaddr: va,
+            write,
+            fault,
+        });
+    }
+
+    /// Advances the core one cycle.
+    ///
+    /// `desc` supplies the coupled queues when this core is half of a DeSC
+    /// pair; MAPLE and software configurations pass `None`.
+    pub fn tick(&mut self, now: Cycle, mem: &mut PhysMem, mut desc: Option<&mut DescQueues>) {
+        // 1. Retire arrived memory responses.
+        while let Some(resp) = self.l1.pop_core_resp(now) {
+            if let Some(ticket) = self.desc_inflight.remove(&resp.id) {
+                let q = desc
+                    .as_deref_mut()
+                    .expect("DeSC load completed without queues");
+                q.fill(ticket, resp.data);
+                continue;
+            }
+            if self.mmio_inflight.remove(&resp.id) {
+                continue; // MMIO store ack drains from the store buffer
+            }
+            match self.waiting {
+                Some(Waiting::Resp { id, rd }) if id == resp.id => {
+                    if let Some(rd) = rd {
+                        self.write_reg(rd, resp.data);
+                    }
+                    self.waiting = None;
+                    self.state = CoreState::Running;
+                    self.next_ready = now.plus(1);
+                }
+                _ => panic!("core {}: unexpected memory response {resp:?}", self.id),
+            }
+        }
+
+        match self.state {
+            CoreState::Halted | CoreState::Faulted => return,
+            CoreState::WaitingMem => {
+                self.stats.mem_stall_cycles.inc();
+                return;
+            }
+            CoreState::Running => {}
+        }
+        if now < self.next_ready {
+            return;
+        }
+
+        let Some(&inst) = self.program.fetch(self.pc) else {
+            // Running off the end behaves like Halt.
+            self.state = CoreState::Halted;
+            self.stats.halted_at = Some(now);
+            return;
+        };
+
+        match inst {
+            Inst::Li { rd, imm } => {
+                self.write_reg(rd, imm);
+                self.retire(now, 1);
+            }
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let a = self.regs[usize::from(rs1.0)];
+                let b = self.operand(rs2);
+                self.write_reg(rd, op.apply(a, b));
+                self.retire(now, op.latency());
+            }
+            Inst::Nop => self.retire(now, 1),
+            Inst::Halt => {
+                self.state = CoreState::Halted;
+                self.stats.halted_at = Some(now);
+                self.stats.instructions.inc();
+            }
+            Inst::Jump { target } => {
+                self.pc = target;
+                self.stats.instructions.inc();
+                self.next_ready = now.plus(1 + self.cfg.taken_branch_penalty);
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
+                let a = self.regs[usize::from(rs1.0)];
+                let b = self.operand(rs2);
+                self.stats.instructions.inc();
+                if cond.eval(a, b) {
+                    self.pc = target;
+                    self.next_ready = now.plus(1 + self.cfg.taken_branch_penalty);
+                } else {
+                    self.pc += 1;
+                    self.next_ready = now.plus(1);
+                }
+            }
+            Inst::Ld {
+                rd,
+                base,
+                offset,
+                size,
+                class,
+            } => {
+                let va = self.va(base, offset);
+                match self.translate(now, va, false) {
+                    Translate::Ok(t) => {
+                        let op = if t.flags.mmio {
+                            CoreOp::MmioLoad { size }
+                        } else {
+                            match class {
+                                LdClass::Normal => CoreOp::Load { size },
+                                LdClass::Volatile => CoreOp::LoadVolatile { size },
+                            }
+                        };
+                        let id = self.fresh_id();
+                        match self.l1.access(now, CoreReq { id, addr: t.paddr, op }, mem) {
+                            Ok(()) => {
+                                self.stats.loads.inc();
+                                self.waiting = Some(Waiting::Resp { id, rd: Some(rd) });
+                                self.state = CoreState::WaitingMem;
+                                self.pc += 1;
+                                self.stats.instructions.inc();
+                            }
+                            Err(L1Reject::MshrFull | L1Reject::StoreBufferFull) => {
+                                self.next_ready = now.plus(1); // retry
+                            }
+                        }
+                    }
+                    Translate::PtwStarted(ready, write, va) => {
+                        self.ptw_stall(now, mem, ready, va, write);
+                    }
+                    Translate::Fault(f) => self.raise_fault(va, false, f),
+                }
+            }
+            Inst::St {
+                rs,
+                base,
+                offset,
+                size,
+            } => {
+                let va = self.va(base, offset);
+                let data = self.regs[usize::from(rs.0)];
+                match self.translate(now, va, true) {
+                    Translate::Ok(t) => {
+                        if t.flags.mmio
+                            && self.mmio_inflight.len() >= self.cfg.mmio_store_outstanding
+                        {
+                            // Store buffer full of unacked MMIO stores —
+                            // this is how MAPLE's queue-full backpressure
+                            // reaches the pipeline.
+                            self.next_ready = now.plus(1);
+                            return;
+                        }
+                        let id = self.fresh_id();
+                        let op = if t.flags.mmio {
+                            CoreOp::MmioStore { size, data }
+                        } else {
+                            CoreOp::Store { size, data }
+                        };
+                        match self.l1.access(now, CoreReq { id, addr: t.paddr, op }, mem) {
+                            Ok(()) => {
+                                self.stats.stores.inc();
+                                self.stats.instructions.inc();
+                                self.pc += 1;
+                                if t.flags.mmio {
+                                    // Retires architecturally on the device
+                                    // ack (paper, produce step 4), but the
+                                    // pipeline runs ahead from the store
+                                    // buffer.
+                                    self.mmio_inflight.insert(id);
+                                }
+                                self.next_ready = now.plus(1);
+                            }
+                            Err(_) => self.next_ready = now.plus(1),
+                        }
+                    }
+                    Translate::PtwStarted(ready, write, va) => {
+                        self.ptw_stall(now, mem, ready, va, write);
+                    }
+                    Translate::Fault(f) => self.raise_fault(va, true, f),
+                }
+            }
+            Inst::Amo {
+                op,
+                rd,
+                base,
+                offset,
+                size,
+                rs,
+                rs2,
+            } => {
+                let va = self.va(base, offset);
+                match self.translate(now, va, true) {
+                    Translate::Ok(t) => {
+                        let operand = self.regs[usize::from(rs.0)];
+                        let kind = match op {
+                            AtomicOp::Add => AmoKind::Add,
+                            AtomicOp::Swap => AmoKind::Swap,
+                            AtomicOp::Cas => AmoKind::Cas {
+                                expected: self.regs[usize::from(rs2.0)],
+                            },
+                            AtomicOp::MinU => AmoKind::MinU,
+                            AtomicOp::MaxU => AmoKind::MaxU,
+                        };
+                        let id = self.fresh_id();
+                        let req = CoreReq {
+                            id,
+                            addr: t.paddr,
+                            op: CoreOp::Amo {
+                                kind,
+                                size,
+                                operand,
+                            },
+                        };
+                        match self.l1.access(now, req, mem) {
+                            Ok(()) => {
+                                self.stats.atomics.inc();
+                                self.stats.instructions.inc();
+                                self.waiting = Some(Waiting::Resp { id, rd: Some(rd) });
+                                self.state = CoreState::WaitingMem;
+                                self.pc += 1;
+                            }
+                            Err(_) => self.next_ready = now.plus(1),
+                        }
+                    }
+                    Translate::PtwStarted(ready, write, va) => {
+                        self.ptw_stall(now, mem, ready, va, write);
+                    }
+                    Translate::Fault(f) => self.raise_fault(va, true, f),
+                }
+            }
+            Inst::Prefetch { base, offset } => {
+                let va = self.va(base, offset);
+                match self.translate(now, va, false) {
+                    Translate::Ok(t) => {
+                        let id = self.fresh_id();
+                        let req = CoreReq {
+                            id,
+                            addr: t.paddr,
+                            op: CoreOp::Prefetch,
+                        };
+                        // Prefetches never block and never fault.
+                        if self.l1.access(now, req, mem).is_ok() {
+                            self.stats.prefetches.inc();
+                        }
+                        self.retire(now, 1);
+                    }
+                    Translate::PtwStarted(ready, write, va) => {
+                        self.ptw_stall(now, mem, ready, va, write);
+                    }
+                    Translate::Fault(_) => self.retire(now, 1), // dropped
+                }
+            }
+            Inst::DescProduce { q, rs } => {
+                let queues = desc.as_deref_mut().expect("DeSC op without queues");
+                let v = self.regs[usize::from(rs.0)];
+                if queues.produce(q, v).is_ok() {
+                    self.stats.instructions.inc();
+                    self.pc += 1;
+                    self.next_ready = now.plus(self.cfg.desc_queue_latency);
+                } else {
+                    self.next_ready = now.plus(1); // full: retry
+                }
+            }
+            Inst::DescConsume { rd, q } => {
+                let queues = desc.as_deref_mut().expect("DeSC op without queues");
+                if let Some(v) = queues.consume(q) {
+                    self.write_reg(rd, v);
+                    self.stats.instructions.inc();
+                    self.stats.loads.inc();
+                    self.pc += 1;
+                    self.next_ready = now.plus(self.cfg.desc_queue_latency);
+                } else {
+                    self.next_ready = now.plus(1); // empty: retry
+                }
+            }
+            Inst::DescTryConsume { rd, q } => {
+                let queues = desc.as_deref_mut().expect("DeSC op without queues");
+                let v = queues.consume(q).unwrap_or(u64::MAX);
+                self.write_reg(rd, v);
+                self.stats.instructions.inc();
+                self.pc += 1;
+                self.next_ready = now.plus(self.cfg.desc_queue_latency);
+            }
+            Inst::DescProduceLoad {
+                q,
+                base,
+                offset,
+                size,
+            } => {
+                if self.desc_inflight.len() >= self.cfg.desc_outstanding {
+                    self.next_ready = now.plus(1);
+                    return;
+                }
+                {
+                    let queues = desc.as_deref_mut().expect("DeSC op without queues");
+                    if queues.is_full(q) {
+                        self.next_ready = now.plus(1);
+                        return;
+                    }
+                }
+                let va = self.va(base, offset);
+                match self.translate(now, va, false) {
+                    Translate::Ok(t) => {
+                        let id = self.fresh_id();
+                        let req = CoreReq {
+                            id,
+                            addr: t.paddr,
+                            op: CoreOp::Load { size },
+                        };
+                        match self.l1.access(now, req, mem) {
+                            Ok(()) => {
+                                let queues =
+                                    desc.expect("DeSC op without queues");
+                                let ticket =
+                                    queues.reserve(q).expect("checked not full above");
+                                self.desc_inflight.insert(id, ticket);
+                                self.stats.loads.inc();
+                                self.stats.instructions.inc();
+                                self.pc += 1;
+                                // Terminal load: does NOT block the pipeline.
+                                self.next_ready = now.plus(1);
+                            }
+                            Err(_) => self.next_ready = now.plus(1),
+                        }
+                    }
+                    Translate::PtwStarted(ready, write, va) => {
+                        self.ptw_stall(now, mem, ready, va, write);
+                    }
+                    Translate::Fault(f) => self.raise_fault(va, false, f),
+                }
+            }
+        }
+    }
+
+    fn ptw_stall(&mut self, now: Cycle, mem: &PhysMem, ready: Cycle, va: VAddr, write: bool) {
+        self.stats.ptw_stall_cycles.add(ready.since(now));
+        if let Some(fault) = self.finish_walk(mem, va, write) {
+            self.raise_fault(va, write, fault);
+        } else {
+            self.next_ready = ready; // re-issue; TLB now hits
+        }
+    }
+
+    fn retire(&mut self, now: Cycle, latency: u64) {
+        self.stats.instructions.inc();
+        self.pc += 1;
+        self.next_ready = now.plus(latency);
+    }
+}
+
+enum Translate {
+    Ok(Translation),
+    PtwStarted(Cycle, bool, VAddr),
+    Fault(PageFault),
+}
+
+/// Helper: the physical *frame base* for a translation's page (TLBs cache
+/// page-granular mappings).
+trait FrameBase {
+    fn line_base_page(self) -> maple_mem::PAddr;
+}
+
+impl FrameBase for maple_mem::PAddr {
+    fn line_base_page(self) -> maple_mem::PAddr {
+        maple_mem::PAddr(self.0 & !(maple_mem::PAGE_SIZE - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests;

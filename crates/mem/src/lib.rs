@@ -1,0 +1,41 @@
+//! Memory hierarchy and DRAM timing models for the MAPLE SoC.
+//!
+//! The crate follows a **functional/timing split**: a single sparse
+//! [`phys::PhysMem`] holds all data, while [`l1::L1Cache`], [`l2::SharedL2`]
+//! and [`dram::Dram`] model only *when* accesses complete. Loads read the
+//! backing store at completion, stores update it at acceptance, and atomics
+//! execute at the shared L2 — the one serialization point — so every
+//! parallel kernel in the workspace computes bit-exact results regardless
+//! of cache state. This mirrors how the paper's FPGA evaluation separates
+//! correctness (the RTL) from the timing parameters it reports in Table 2.
+//!
+//! Components communicate over the NoC using [`msg::MemReq`] /
+//! [`msg::MemResp`]; MAPLE issues exactly the same messages as an L1 cache,
+//! which is the paper's central integration claim.
+//!
+//! # Example: an L1 miss round trip
+//!
+//! ```
+//! use maple_mem::l1::{CoreOp, CoreReq, L1Cache, L1Config};
+//! use maple_mem::msg::MemResp;
+//! use maple_mem::phys::{PAddr, PhysMem};
+//! use maple_sim::Cycle;
+//!
+//! let mut mem = PhysMem::new();
+//! mem.write_u64(PAddr(0x100), 7);
+//! let mut l1 = L1Cache::new(L1Config::default());
+//! l1.access(Cycle(0), CoreReq { id: 1, addr: PAddr(0x100), op: CoreOp::Load { size: 8 } }, &mut mem)
+//!     .expect("accepted");
+//! let fill = l1.pop_outgoing().expect("miss goes to memory");
+//! l1.on_mem_resp(Cycle(330), MemResp { id: fill.id, data: 0 }, &mem);
+//! assert_eq!(l1.pop_core_resp(Cycle(332)).unwrap().data, 7);
+//! ```
+
+pub mod cache;
+pub mod dram;
+pub mod l1;
+pub mod l2;
+pub mod msg;
+pub mod phys;
+
+pub use phys::{PAddr, PhysMem, LINE_SIZE, PAGE_SIZE};

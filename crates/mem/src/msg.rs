@@ -1,0 +1,170 @@
+//! Memory-system messages exchanged over the NoC.
+//!
+//! Requests flow from L1 caches (and MAPLE engines) to the shared-L2 tile or
+//! to MMIO devices; responses flow back to the requester's coordinate. MAPLE
+//! issues the same message types as any core — the paper's point that no
+//! memory-hierarchy modification is needed.
+
+use maple_noc::Coord;
+
+use crate::phys::{AmoKind, PAddr};
+
+/// What a memory request asks the shared L2 / memory controller / device to
+/// do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemReqKind {
+    /// Fetch a full 64-byte line into the requester's cache (L1 fill path).
+    /// Allocates in L2 on the way through.
+    ReadLine,
+    /// Fetch a full 64-byte line directly from DRAM, bypassing L2 allocation
+    /// (MAPLE's non-coherent bulk path, e.g. LIMA fetching chunks of `B`).
+    ReadLineDram,
+    /// Read `size` bytes at the L2 coherence point without caching in L1
+    /// (volatile/shared data, MAPLE coherent loads, MMIO loads).
+    ReadWord {
+        /// Access width in bytes (1, 2, 4 or 8).
+        size: u8,
+    },
+    /// Read `size` bytes directly from DRAM, bypassing the L2 (MAPLE's
+    /// non-coherent load path).
+    ReadWordDram {
+        /// Access width in bytes (1, 2, 4 or 8).
+        size: u8,
+    },
+    /// Store of `size` bytes.
+    ///
+    /// For ordinary write-through traffic `ack` is false and the functional
+    /// write already happened at the L1; the L2 only updates recency. For
+    /// MMIO stores `ack` is true: the device consumes `data` and returns an
+    /// acknowledgement (the paper's produce path, step 4).
+    Write {
+        /// Access width in bytes.
+        size: u8,
+        /// Store data (used by MMIO devices; informational for L2).
+        data: u64,
+        /// Whether the requester expects an acknowledgement response.
+        ack: bool,
+    },
+    /// Atomic read-modify-write executed at the L2 serialization point.
+    Amo {
+        /// The operation.
+        kind: AmoKind,
+        /// Access width (4 or 8).
+        size: u8,
+        /// Operand (added/stored/compared value).
+        operand: u64,
+    },
+    /// Speculatively install a line in the L2 (MAPLE `PREFETCH`, DROPLET).
+    /// No response is generated.
+    PrefetchLine,
+}
+
+/// A request message to the shared L2 / memory controller tile or a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReq {
+    /// Requester-chosen transaction ID, echoed in the response.
+    pub id: u64,
+    /// Physical address of the access.
+    pub addr: PAddr,
+    /// Operation.
+    pub kind: MemReqKind,
+    /// Coordinate the response should be routed to.
+    pub reply_to: Coord,
+}
+
+impl MemReq {
+    /// Payload size of this request in NoC flits (8-byte units: one header
+    /// flit plus a data flit for writes and AMOs).
+    #[must_use]
+    pub fn flits(&self) -> u8 {
+        match self.kind {
+            MemReqKind::Write { .. } | MemReqKind::Amo { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this request generates a response message.
+    #[must_use]
+    pub fn expects_response(&self) -> bool {
+        match self.kind {
+            MemReqKind::PrefetchLine => false,
+            MemReqKind::Write { ack, .. } => ack,
+            _ => true,
+        }
+    }
+}
+
+/// A response from the shared L2 / memory controller / device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResp {
+    /// Echo of the request's transaction ID.
+    pub id: u64,
+    /// Word data for `ReadWord`/`ReadWordDram`/`Amo` (old value); zero for
+    /// `ReadLine` fills and `Write` acknowledgements.
+    pub data: u64,
+}
+
+impl MemResp {
+    /// Size in NoC flits: a line fill carries 8 data flits plus a header;
+    /// word responses carry one data flit.
+    #[must_use]
+    pub fn flits(is_line: bool) -> u8 {
+        if is_line {
+            9
+        } else {
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_sizing() {
+        let base = MemReq {
+            id: 1,
+            addr: PAddr(0x40),
+            kind: MemReqKind::ReadLine,
+            reply_to: Coord::new(0, 0),
+        };
+        assert_eq!(base.flits(), 1);
+        let w = MemReq {
+            kind: MemReqKind::Write {
+                size: 8,
+                data: 7,
+                ack: false,
+            },
+            ..base
+        };
+        assert_eq!(w.flits(), 2);
+        assert_eq!(MemResp::flits(true), 9);
+        assert_eq!(MemResp::flits(false), 2);
+    }
+
+    #[test]
+    fn response_expectations() {
+        let mut r = MemReq {
+            id: 0,
+            addr: PAddr(0),
+            kind: MemReqKind::PrefetchLine,
+            reply_to: Coord::new(0, 0),
+        };
+        assert!(!r.expects_response());
+        r.kind = MemReqKind::Write {
+            size: 8,
+            data: 0,
+            ack: false,
+        };
+        assert!(!r.expects_response(), "write-through is fire-and-forget");
+        r.kind = MemReqKind::Write {
+            size: 8,
+            data: 0,
+            ack: true,
+        };
+        assert!(r.expects_response(), "MMIO store wants the ack");
+        r.kind = MemReqKind::ReadWord { size: 8 };
+        assert!(r.expects_response());
+    }
+}

@@ -1,0 +1,191 @@
+//! Cycle-level simulation kernel for the MAPLE manycore SoC model.
+//!
+//! This crate provides the shared infrastructure every timing model in the
+//! workspace builds on:
+//!
+//! - [`Cycle`]: a newtype over the global cycle count with saturating
+//!   arithmetic helpers.
+//! - [`link::Link`] and [`link::DelayQueue`]: latency-annotated message
+//!   channels used to connect components (cores, caches, NoC routers, MAPLE
+//!   pipelines) without shared mutable ownership.
+//! - [`stats`]: counters and log-scale histograms used for the performance
+//!   counters the paper reads out (load counts, load latencies, queue
+//!   occupancy).
+//! - [`rng`]: a deterministic, seedable random-number source so every
+//!   experiment is reproducible bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use maple_sim::{Cycle, link::Link};
+//!
+//! let mut link: Link<&str> = Link::new(3); // three-cycle latency
+//! link.send(Cycle(10), "hello");
+//! assert_eq!(link.recv(Cycle(12)), None); // not yet delivered
+//! assert_eq!(link.recv(Cycle(13)), Some("hello"));
+//! ```
+
+pub mod link;
+pub mod rng;
+pub mod stats;
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// All components in the SoC share a single clock domain (as the FPGA
+/// prototype in the paper does, at 60 MHz). `Cycle` is ordered and supports
+/// the small amount of arithmetic timing models need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The zero cycle, i.e. the beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Returns the cycle `n` cycles after `self`, saturating on overflow.
+    #[must_use]
+    pub fn plus(self, n: u64) -> Cycle {
+        Cycle(self.0.saturating_add(n))
+    }
+
+    /// Returns the number of cycles elapsed since `earlier`.
+    ///
+    /// Returns zero when `earlier` is in the future, which makes it safe to
+    /// use with out-of-order bookkeeping.
+    #[must_use]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        self.plus(rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.plus(rhs);
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Self {
+        Cycle(v)
+    }
+}
+
+/// Outcome of running a simulation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The completion condition was met at the contained cycle.
+    Finished(Cycle),
+    /// The cycle budget was exhausted before completion.
+    TimedOut(Cycle),
+}
+
+impl RunOutcome {
+    /// The cycle at which the run stopped, regardless of outcome.
+    #[must_use]
+    pub fn cycle(self) -> Cycle {
+        match self {
+            RunOutcome::Finished(c) | RunOutcome::TimedOut(c) => c,
+        }
+    }
+
+    /// Whether the run completed before the budget expired.
+    #[must_use]
+    pub fn is_finished(self) -> bool {
+        matches!(self, RunOutcome::Finished(_))
+    }
+}
+
+/// Drives `tick` once per cycle until `done` reports true or `max_cycles`
+/// elapses.
+///
+/// This is the outermost loop of every experiment. `tick` receives the
+/// current cycle; `done` is evaluated after each tick.
+pub fn run_until(
+    max_cycles: u64,
+    mut tick: impl FnMut(Cycle),
+    mut done: impl FnMut() -> bool,
+) -> RunOutcome {
+    let mut now = Cycle::ZERO;
+    while now.0 < max_cycles {
+        tick(now);
+        if done() {
+            return RunOutcome::Finished(now);
+        }
+        now += 1;
+    }
+    RunOutcome::TimedOut(now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let c = Cycle(10);
+        assert_eq!(c.plus(5), Cycle(15));
+        assert_eq!(c + 5, Cycle(15));
+        assert_eq!(Cycle(15).since(c), 5);
+        assert_eq!(Cycle(15) - c, 5);
+        assert_eq!(c.since(Cycle(15)), 0, "never negative");
+    }
+
+    #[test]
+    fn cycle_saturates() {
+        assert_eq!(Cycle(u64::MAX).plus(1), Cycle(u64::MAX));
+    }
+
+    #[test]
+    fn cycle_display_and_order() {
+        assert_eq!(Cycle(3).to_string(), "cycle 3");
+        assert!(Cycle(3) < Cycle(4));
+        let mut c = Cycle(1);
+        c += 2;
+        assert_eq!(c, Cycle(3));
+    }
+
+    #[test]
+    fn run_until_finishes() {
+        let n = std::cell::Cell::new(0u64);
+        let outcome = run_until(100, |_| n.set(n.get() + 1), || n.get() == 7);
+        let n = n.get();
+        assert_eq!(outcome, RunOutcome::Finished(Cycle(6)));
+        assert_eq!(outcome.cycle(), Cycle(6));
+        assert!(outcome.is_finished());
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn run_until_times_out() {
+        let outcome = run_until(10, |_| {}, || false);
+        assert_eq!(outcome, RunOutcome::TimedOut(Cycle(10)));
+        assert!(!outcome.is_finished());
+    }
+
+    #[test]
+    fn cycle_from_u64() {
+        assert_eq!(Cycle::from(9), Cycle(9));
+    }
+}

@@ -1,0 +1,263 @@
+//! SoC configurations: the paper's Table 2 (FPGA prototype) and Table 3
+//! (simulated system), plus the knobs the sensitivity studies sweep.
+
+use maple_baselines::droplet::DropletConfig;
+use maple_core::MapleConfig;
+use maple_cpu::CpuConfig;
+use maple_mem::dram::DramConfig;
+use maple_mem::l2::L2Config;
+use maple_noc::Coord;
+
+/// Physical base address of the MAPLE instance pages.
+pub const MAPLE_PA_BASE: u64 = 0xF000_0000;
+
+/// Complete system configuration.
+#[derive(Debug, Clone)]
+pub struct SocConfig {
+    /// Mesh width in tiles.
+    pub mesh_width: u8,
+    /// Mesh height in tiles.
+    pub mesh_height: u8,
+    /// Number of core tiles.
+    pub cores: usize,
+    /// Number of MAPLE tiles.
+    pub maples: usize,
+    /// Core parameters (contains the L1 configuration).
+    pub cpu: CpuConfig,
+    /// Shared L2 parameters.
+    pub l2: L2Config,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+    /// MAPLE engine parameters.
+    pub maple: MapleConfig,
+    /// Tile-to-NoC path latency (L1.5 + NoC encoder in OpenPiton terms),
+    /// charged on every outbound message.
+    pub uncore_latency: u64,
+    /// Extra cycles added to the MAPLE pipelines, split between decode and
+    /// respond — the Figure 15 communication-latency knob.
+    pub maple_extra_latency: u64,
+    /// OS page-fault service time in cycles.
+    pub fault_latency: u64,
+    /// Optional DROPLET memory-side prefetcher at the L2.
+    pub droplet: Option<DropletConfig>,
+    /// Capacity of DeSC coupled queues when a pair is enabled.
+    pub desc_queue_capacity: usize,
+    /// Explicit MAPLE tile coordinates, overriding the default packing —
+    /// the Section 5.3 placement discussion ("MAPLE instances are often
+    /// scattered across the X and Y tile axes so that MAPLE are near
+    /// cores").
+    pub maple_tile_override: Option<Vec<(u8, u8)>>,
+}
+
+impl SocConfig {
+    /// Table 2: the FPGA prototype — 2 Ariane cores, 1 MAPLE (1 KB
+    /// scratchpad), 8 KB 4-way 2-cycle L1, 64 KB 8-way 30-cycle shared
+    /// L2, 300-cycle DRAM.
+    #[must_use]
+    pub fn fpga_prototype() -> Self {
+        SocConfig {
+            mesh_width: 2,
+            mesh_height: 2,
+            cores: 2,
+            maples: 1,
+            cpu: CpuConfig::default(),
+            l2: L2Config::default(),
+            dram: DramConfig::default(),
+            maple: MapleConfig::default(),
+            uncore_latency: 7,
+            maple_extra_latency: 0,
+            fault_latency: 1200,
+            droplet: None,
+            desc_queue_capacity: 32,
+            maple_tile_override: None,
+        }
+    }
+
+    /// Table 3: the simulated system used for the prior-work comparison —
+    /// identical memory timing, instruction window of 1.
+    #[must_use]
+    pub fn simulated_system() -> Self {
+        // The two platforms intentionally share their timing parameters
+        // (the paper matched the simulator to the SoC configuration).
+        Self::fpga_prototype()
+    }
+
+    /// Scales the mesh and core count (threads share the single MAPLE, as
+    /// in Figure 13).
+    #[must_use]
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        let tiles = cores + 1 + self.maples;
+        // Smallest square-ish mesh that fits.
+        let mut w = 2u8;
+        while usize::from(w) * usize::from(w) < tiles {
+            w += 1;
+        }
+        self.mesh_width = w;
+        self.mesh_height = w;
+        self
+    }
+
+    /// Adds MAPLE instances (scaled experiments).
+    #[must_use]
+    pub fn with_maples(mut self, maples: usize) -> Self {
+        self.maples = maples;
+        let cores = self.cores;
+        self.with_cores(cores)
+    }
+
+    /// Sets the Figure 15 communication-latency knob.
+    #[must_use]
+    pub fn with_maple_extra_latency(mut self, cycles: u64) -> Self {
+        self.maple_extra_latency = cycles;
+        self
+    }
+
+    /// Sets the queue shape (Section 5.3 queue-size sweep).
+    #[must_use]
+    pub fn with_queue_entries(mut self, entries: usize) -> Self {
+        self.maple.default_entries = entries;
+        // Keep the shipped 8-queue shape; shrink the count if the
+        // scratchpad cannot hold 8 queues of this size.
+        let bytes_per_queue = entries * usize::from(self.maple.default_entry_bytes);
+        let max_queues = (self.maple.scratchpad_bytes as usize / bytes_per_queue).max(1);
+        self.maple.queues = self.maple.queues.min(max_queues);
+        self
+    }
+
+    /// Enables the DROPLET comparator.
+    #[must_use]
+    pub fn with_droplet(mut self, cfg: DropletConfig) -> Self {
+        self.droplet = Some(cfg);
+        self
+    }
+
+    /// Total tiles used by this configuration.
+    #[must_use]
+    pub fn tiles_used(&self) -> usize {
+        self.cores + 1 + self.maples
+    }
+
+    /// The fixed tile layout: cores first (row-major), then the L2 tile,
+    /// then MAPLE tiles.
+    #[must_use]
+    pub fn layout(&self) -> TileLayout {
+        let nodes = usize::from(self.mesh_width) * usize::from(self.mesh_height);
+        assert!(
+            self.tiles_used() <= nodes,
+            "{} tiles needed but the {}x{} mesh has {}",
+            self.tiles_used(),
+            self.mesh_width,
+            self.mesh_height,
+            nodes
+        );
+        let coord = |idx: usize| {
+            Coord::new(
+                (idx % usize::from(self.mesh_width)) as u8,
+                (idx / usize::from(self.mesh_width)) as u8,
+            )
+        };
+        let default_tiles: Vec<Coord> =
+            (0..self.maples).map(|i| coord(self.cores + 1 + i)).collect();
+        let maple_tiles = match &self.maple_tile_override {
+            Some(placement) => {
+                assert_eq!(
+                    placement.len(),
+                    self.maples,
+                    "placement must name every MAPLE instance"
+                );
+                placement.iter().map(|&(x, y)| Coord::new(x, y)).collect()
+            }
+            None => default_tiles,
+        };
+        let layout = TileLayout {
+            core_tiles: (0..self.cores).map(coord).collect(),
+            l2_tile: coord(self.cores),
+            maple_tiles,
+        };
+        // Overridden placements must not collide with cores or the L2.
+        for m in &layout.maple_tiles {
+            assert!(
+                *m != layout.l2_tile && !layout.core_tiles.contains(m),
+                "MAPLE tile {m} collides with another component"
+            );
+        }
+        layout
+    }
+
+    /// Physical base address of MAPLE instance `i`'s MMIO page.
+    #[must_use]
+    pub fn maple_page(&self, i: usize) -> u64 {
+        MAPLE_PA_BASE + (i as u64) * maple_mem::PAGE_SIZE
+    }
+}
+
+/// Where each component sits in the mesh.
+#[derive(Debug, Clone)]
+pub struct TileLayout {
+    /// One coordinate per core.
+    pub core_tiles: Vec<Coord>,
+    /// The shared L2 + memory-controller tile.
+    pub l2_tile: Coord,
+    /// One coordinate per MAPLE instance.
+    pub maple_tiles: Vec<Coord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fpga_prototype_matches_table2() {
+        let c = SocConfig::fpga_prototype();
+        assert_eq!(c.cores, 2);
+        assert_eq!(c.maples, 1);
+        assert_eq!(c.cpu.l1.size_bytes, 8 * 1024);
+        assert_eq!(c.cpu.l1.ways, 4);
+        assert_eq!(c.cpu.l1.hit_latency, 2);
+        assert_eq!(c.l2.size_bytes, 64 * 1024);
+        assert_eq!(c.l2.ways, 8);
+        assert_eq!(c.l2.latency, 30);
+        assert_eq!(c.dram.latency, 300);
+        assert_eq!(c.maple.scratchpad_bytes, 1024);
+        assert_eq!(c.maple.queues, 8);
+        assert_eq!(c.maple.default_entries, 32);
+    }
+
+    #[test]
+    fn layout_is_disjoint() {
+        let c = SocConfig::fpga_prototype();
+        let l = c.layout();
+        assert_eq!(l.core_tiles.len(), 2);
+        assert_eq!(l.maple_tiles.len(), 1);
+        let mut all = l.core_tiles.clone();
+        all.push(l.l2_tile);
+        all.extend(&l.maple_tiles);
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len(), "tiles must not overlap");
+    }
+
+    #[test]
+    fn with_cores_grows_mesh() {
+        let c = SocConfig::fpga_prototype().with_cores(8);
+        assert!(c.tiles_used() <= usize::from(c.mesh_width) * usize::from(c.mesh_height));
+        let _ = c.layout();
+    }
+
+    #[test]
+    fn queue_entries_respect_scratchpad() {
+        let c = SocConfig::fpga_prototype().with_queue_entries(64);
+        // 64 × 4 B = 256 B per queue → at most 4 queues in 1 KB.
+        assert_eq!(c.maple.queues, 4);
+        assert_eq!(c.maple.default_entries, 64);
+    }
+
+    #[test]
+    fn maple_pages_are_distinct() {
+        let c = SocConfig::fpga_prototype().with_maples(3);
+        assert_ne!(c.maple_page(0), c.maple_page(1));
+        assert_eq!(c.maple_page(2) - c.maple_page(1), maple_mem::PAGE_SIZE);
+    }
+}

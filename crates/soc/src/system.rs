@@ -1,0 +1,603 @@
+//! The assembled SoC: cores, MAPLE engines, shared L2 and DRAM on a 2-D
+//! mesh, with OS services and the experiment-facing control surface.
+//!
+//! A [`System`] is built from a [`SocConfig`], loaded with per-core
+//! programs, and run to completion. Everything the paper's evaluation
+//! needs hangs off this type: heap allocation (eager or demand-paged),
+//! MAPLE instance mapping, DeSC core pairing, DROPLET configuration, and
+//! statistics extraction.
+
+use std::collections::VecDeque;
+
+use maple_baselines::droplet::{DropletPrefetcher, IndirectWatch};
+use maple_core::Engine;
+use maple_cpu::desc::DescQueues;
+use maple_cpu::{Core, CoreState};
+use maple_isa::{Program, Reg};
+use maple_mem::l2::SharedL2;
+use maple_mem::msg::{MemReq, MemResp};
+use maple_mem::phys::{PAddr, PhysMem, PAGE_SIZE};
+use maple_noc::{Coord, Mesh, MeshConfig};
+use maple_sim::link::DelayQueue;
+use maple_sim::{Cycle, RunOutcome};
+use maple_vm::page_table::FrameAllocator;
+use maple_vm::VAddr;
+
+use crate::config::{SocConfig, TileLayout, MAPLE_PA_BASE};
+use crate::os::AddressSpace;
+
+/// Messages carried by the NoC.
+#[derive(Debug, Clone, Copy)]
+pub enum NocPayload {
+    /// A memory/MMIO request heading to the L2 tile or a MAPLE tile.
+    Req(MemReq),
+    /// A response heading back to a requester tile.
+    Resp {
+        /// The response.
+        resp: MemResp,
+        /// NoC flits (9 for line data, 2 for words).
+        flits: u8,
+    },
+}
+
+#[derive(Debug)]
+struct OutMsg {
+    dst: Coord,
+    flits: u8,
+    payload: NocPayload,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FaultTarget {
+    Core(usize),
+    Engine(usize),
+}
+
+/// The assembled system.
+pub struct System {
+    cfg: SocConfig,
+    layout: TileLayout,
+    mem: PhysMem,
+    frames: FrameAllocator,
+    aspace: AddressSpace,
+    mesh: Mesh<NocPayload>,
+    cores: Vec<Core>,
+    engines: Vec<Engine>,
+    l2: SharedL2,
+    droplet: Option<DropletPrefetcher>,
+    desc_queues: Vec<DescQueues>,
+    desc_pair: Vec<Option<usize>>,
+    /// Per-tile outbound path: uncore delay then injection (with retry on
+    /// backpressure, order-preserving).
+    out_uncore: Vec<DelayQueue<OutMsg>>,
+    out_retry: Vec<VecDeque<OutMsg>>,
+    fault_service: DelayQueue<FaultTarget>,
+    faults_in_service: Vec<bool>,
+    engine_fault_in_service: Vec<bool>,
+    /// Per-engine, per-queue occupancy samples (taken every
+    /// [`OCCUPANCY_SAMPLE_PERIOD`] cycles).
+    occupancy: Vec<Vec<maple_sim::stats::Histogram>>,
+    now: Cycle,
+}
+
+/// Cycles between queue-occupancy samples.
+pub const OCCUPANCY_SAMPLE_PERIOD: u64 = 64;
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("cores", &self.cores.len())
+            .field("engines", &self.engines.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl System {
+    /// Builds an idle system from a configuration.
+    #[must_use]
+    pub fn new(cfg: SocConfig) -> Self {
+        let layout = cfg.layout();
+        let mut mem = PhysMem::new();
+        // Frames live above the first 16 MB (reserved) within 1 GB DRAM.
+        let mut frames = FrameAllocator::new(PAddr(0x100_0000), (1 << 30) - 0x100_0000);
+        let aspace = AddressSpace::new(&mut mem, &mut frames);
+        let mesh = Mesh::new(MeshConfig::new(cfg.mesh_width, cfg.mesh_height));
+        let mut maple_cfg = cfg.maple;
+        maple_cfg.decode_latency += cfg.maple_extra_latency / 2;
+        maple_cfg.respond_latency += cfg.maple_extra_latency - cfg.maple_extra_latency / 2;
+        let engines = (0..cfg.maples).map(|_| Engine::new(maple_cfg)).collect();
+        let l2 = SharedL2::new(cfg.l2, cfg.dram);
+        let droplet = cfg.droplet.map(DropletPrefetcher::new);
+        let nodes = mesh.config().nodes();
+        System {
+            layout,
+            mem,
+            frames,
+            aspace,
+            mesh,
+            cores: Vec::new(),
+            engines,
+            l2,
+            droplet,
+            desc_queues: Vec::new(),
+            desc_pair: Vec::new(),
+            out_uncore: (0..nodes).map(|_| DelayQueue::new()).collect(),
+            out_retry: (0..nodes).map(|_| VecDeque::new()).collect(),
+            fault_service: DelayQueue::new(),
+            faults_in_service: Vec::new(),
+            engine_fault_in_service: vec![false; cfg.maples],
+            occupancy: (0..cfg.maples)
+                .map(|_| vec![maple_sim::stats::Histogram::new(); maple_cfg.queues])
+                .collect(),
+            now: Cycle::ZERO,
+            cfg,
+        }
+    }
+
+    /// The configuration this system was built from.
+    #[must_use]
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
+    }
+
+    // --- host-side memory services ---------------------------------------
+
+    /// Allocates zeroed, eagerly-mapped heap memory.
+    pub fn alloc(&mut self, bytes: u64) -> VAddr {
+        self.aspace.alloc(&mut self.mem, &mut self.frames, bytes)
+    }
+
+    /// Allocates demand-paged heap memory (first touches fault).
+    pub fn alloc_lazy(&mut self, bytes: u64) -> VAddr {
+        self.aspace.alloc_lazy(bytes)
+    }
+
+    fn host_paddr(&mut self, va: VAddr) -> PAddr {
+        if let Some(pa) = self.aspace.translate(&self.mem, va) {
+            return pa;
+        }
+        // Host-side touch of a lazy page maps it (like the kernel writing
+        // into a fresh mmap).
+        assert!(
+            self.aspace.handle_fault(&mut self.mem, &mut self.frames, va),
+            "host access to unmapped address {va}"
+        );
+        self.aspace.translate(&self.mem, va).expect("just mapped")
+    }
+
+    /// Host write of a 64-bit word.
+    pub fn write_u64(&mut self, va: VAddr, value: u64) {
+        let pa = self.host_paddr(va);
+        self.mem.write_u64(pa, value);
+    }
+
+    /// Host write of a 32-bit word.
+    pub fn write_u32(&mut self, va: VAddr, value: u32) {
+        let pa = self.host_paddr(va);
+        self.mem.write_u32(pa, value);
+    }
+
+    /// Host read of a 64-bit word.
+    pub fn read_u64(&mut self, va: VAddr) -> u64 {
+        let pa = self.host_paddr(va);
+        self.mem.read_u64(pa)
+    }
+
+    /// Host read of a 32-bit word.
+    pub fn read_u32(&mut self, va: VAddr) -> u32 {
+        let pa = self.host_paddr(va);
+        self.mem.read_u32(pa)
+    }
+
+    /// Host write of a `u32` slice starting at `va`.
+    pub fn write_slice_u32(&mut self, va: VAddr, data: &[u32]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_u32(va.offset(i as u64 * 4), v);
+        }
+    }
+
+    /// Host write of a `u64` slice starting at `va`.
+    pub fn write_slice_u64(&mut self, va: VAddr, data: &[u64]) {
+        for (i, &v) in data.iter().enumerate() {
+            self.write_u64(va.offset(i as u64 * 8), v);
+        }
+    }
+
+    /// Host read of `n` `u32`s starting at `va`.
+    pub fn read_slice_u32(&mut self, va: VAddr, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(va.offset(i as u64 * 4))).collect()
+    }
+
+    /// Host read of `n` `u64`s starting at `va`.
+    pub fn read_slice_u64(&mut self, va: VAddr, n: usize) -> Vec<u64> {
+        (0..n).map(|i| self.read_u64(va.offset(i as u64 * 8))).collect()
+    }
+
+    // --- device and thread management ------------------------------------
+
+    /// Maps MAPLE instance `i` into the process and programs its MMU;
+    /// returns the user virtual address of its page (the handle every API
+    /// operation uses).
+    pub fn map_maple(&mut self, i: usize) -> VAddr {
+        assert!(i < self.engines.len(), "no MAPLE instance {i}");
+        let page = PAddr(self.cfg.maple_page(i));
+        let va = self
+            .aspace
+            .map_device(&mut self.mem, &mut self.frames, page);
+        self.engines[i].set_page_table(self.aspace.page_table());
+        va
+    }
+
+    /// Loads `program` onto the next free core; returns the core index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when all configured cores are in use.
+    pub fn load_program(&mut self, program: Program, args: &[(Reg, u64)]) -> usize {
+        let idx = self.cores.len();
+        assert!(
+            idx < self.cfg.cores,
+            "configuration has only {} cores",
+            self.cfg.cores
+        );
+        let mut core = Core::new(idx, self.cfg.cpu, program, self.aspace.page_table());
+        for &(r, v) in args {
+            core.set_reg(r, v);
+        }
+        self.cores.push(core);
+        self.desc_pair.push(None);
+        self.faults_in_service.push(false);
+        idx
+    }
+
+    /// Connects two loaded cores with DeSC coupled queues (the DeSC
+    /// baseline's core modification).
+    pub fn pair_desc(&mut self, access: usize, execute: usize, queues: usize) {
+        let k = self.desc_queues.len();
+        self.desc_queues
+            .push(DescQueues::new(queues, self.cfg.desc_queue_capacity));
+        self.desc_pair[access] = Some(k);
+        self.desc_pair[execute] = Some(k);
+    }
+
+    /// Programs the DROPLET prefetcher with an indirect pattern given in
+    /// *virtual* addresses (translated here, as the driver would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if DROPLET is not enabled in the configuration or the
+    /// arrays are not physically contiguous (eager allocations are).
+    pub fn droplet_watch(&mut self, b: VAddr, b_len: u64, b_elem: u8, a: VAddr, a_elem: u8) {
+        let b_start = self.host_paddr(b);
+        // Eager allocations are physically contiguous (bump allocator);
+        // verify on the last page to catch misuse.
+        let last = self.host_paddr(VAddr(b.0 + b_len.saturating_sub(1)));
+        assert_eq!(
+            last.0 - b_start.0,
+            b_len - 1,
+            "DROPLET watch requires physically contiguous index array"
+        );
+        let a_start = self.host_paddr(a);
+        let d = self
+            .droplet
+            .as_mut()
+            .expect("droplet not enabled in SocConfig");
+        d.add_watch(IndirectWatch {
+            b_start,
+            b_end: PAddr(b_start.0 + b_len),
+            b_elem,
+            a_base: a_start,
+            a_elem,
+        });
+    }
+
+    // --- simulation -------------------------------------------------------
+
+    fn route(&self, addr: PAddr) -> Coord {
+        if addr.0 >= MAPLE_PA_BASE {
+            let idx = ((addr.0 - MAPLE_PA_BASE) / PAGE_SIZE) as usize;
+            self.layout.maple_tiles[idx.min(self.layout.maple_tiles.len() - 1)]
+        } else {
+            self.layout.l2_tile
+        }
+    }
+
+    fn tile_index(&self, c: Coord) -> usize {
+        usize::from(c.y) * usize::from(self.cfg.mesh_width) + usize::from(c.x)
+    }
+
+    fn queue_out(&mut self, from: Coord, msg: OutMsg) {
+        let t = self.tile_index(from);
+        self.out_uncore[t].send(self.now, self.cfg.uncore_latency, msg);
+    }
+
+    fn step(&mut self) {
+        let now = self.now;
+
+        // 1. Deliver mesh arrivals to components.
+        for i in 0..self.cores.len() {
+            let tile = self.layout.core_tiles[i];
+            for payload in self.mesh.take_delivered(tile) {
+                match payload {
+                    NocPayload::Resp { resp, .. } => {
+                        self.cores[i].on_mem_resp(now, resp, &self.mem);
+                    }
+                    NocPayload::Req(req) => {
+                        unreachable!("request delivered to core tile: {req:?}")
+                    }
+                }
+            }
+        }
+        for payload in self.mesh.take_delivered(self.layout.l2_tile) {
+            match payload {
+                NocPayload::Req(req) => {
+                    if let Some(d) = &mut self.droplet {
+                        d.observe(now, &req);
+                    }
+                    self.l2.accept(now, req);
+                }
+                NocPayload::Resp { .. } => unreachable!("response delivered to L2 tile"),
+            }
+        }
+        for e in 0..self.engines.len() {
+            let tile = self.layout.maple_tiles[e];
+            for payload in self.mesh.take_delivered(tile) {
+                match payload {
+                    NocPayload::Req(req) => self.engines[e].accept(now, req),
+                    NocPayload::Resp { resp, .. } => {
+                        self.engines[e].on_mem_resp(now, resp, &self.mem);
+                    }
+                }
+            }
+        }
+
+        // 2. Complete due fault services.
+        while let Some(target) = self.fault_service.recv(now) {
+            match target {
+                FaultTarget::Core(i) => {
+                    let fault = self.cores[i].fault().expect("core still faulted");
+                    let ok = self.aspace.handle_fault(
+                        &mut self.mem,
+                        &mut self.frames,
+                        fault.vaddr,
+                    );
+                    assert!(ok, "core {i} faulted outside any lazy region: {fault:?}");
+                    self.cores[i].resume_from_fault(now, 1);
+                    self.faults_in_service[i] = false;
+                }
+                FaultTarget::Engine(e) => {
+                    let fault = self.engines[e].fault().expect("engine still faulted");
+                    let ok = self.aspace.handle_fault(
+                        &mut self.mem,
+                        &mut self.frames,
+                        fault.vaddr,
+                    );
+                    assert!(ok, "MAPLE {e} faulted outside any lazy region: {fault:?}");
+                    self.engines[e].resolve_fault();
+                    self.engine_fault_in_service[e] = false;
+                }
+            }
+        }
+
+        // 3. Tick cores (with DeSC queues when paired), engines, L2,
+        //    DROPLET.
+        for i in 0..self.cores.len() {
+            let dq = match self.desc_pair[i] {
+                Some(k) => Some(&mut self.desc_queues[k]),
+                None => None,
+            };
+            self.cores[i].tick(now, &mut self.mem, dq);
+            if self.cores[i].state() == CoreState::Faulted && !self.faults_in_service[i] {
+                self.faults_in_service[i] = true;
+                self.fault_service
+                    .send(now, self.cfg.fault_latency, FaultTarget::Core(i));
+            }
+        }
+        for e in 0..self.engines.len() {
+            self.engines[e].tick(now, &mut self.mem);
+            if self.engines[e].fault().is_some() && !self.engine_fault_in_service[e] {
+                self.engine_fault_in_service[e] = true;
+                self.fault_service
+                    .send(now, self.cfg.fault_latency, FaultTarget::Engine(e));
+            }
+        }
+        self.l2.tick(now, &mut self.mem);
+        if let Some(d) = &mut self.droplet {
+            for req in d.tick(now, &self.mem) {
+                self.l2.accept(now, req);
+            }
+        }
+
+        // 4. Collect outbound messages into the uncore path.
+        for i in 0..self.cores.len() {
+            let tile = self.layout.core_tiles[i];
+            while let Some(mut req) = self.cores[i].pop_mem_request() {
+                req.reply_to = tile;
+                let dst = self.route(req.addr);
+                let flits = req.flits();
+                self.queue_out(
+                    tile,
+                    OutMsg {
+                        dst,
+                        flits,
+                        payload: NocPayload::Req(req),
+                    },
+                );
+            }
+        }
+        for e in 0..self.engines.len() {
+            let tile = self.layout.maple_tiles[e];
+            while let Some(mut req) = self.engines[e].pop_mem_request() {
+                req.reply_to = tile;
+                let dst = self.route(req.addr);
+                let flits = req.flits();
+                self.queue_out(
+                    tile,
+                    OutMsg {
+                        dst,
+                        flits,
+                        payload: NocPayload::Req(req),
+                    },
+                );
+            }
+            while let Some(out) = self.engines[e].pop_response(now) {
+                self.queue_out(
+                    tile,
+                    OutMsg {
+                        dst: out.dst,
+                        flits: out.flits,
+                        payload: NocPayload::Resp {
+                            resp: out.resp,
+                            flits: out.flits,
+                        },
+                    },
+                );
+            }
+        }
+        {
+            let tile = self.layout.l2_tile;
+            while let Some(out) = self.l2.pop_outgoing() {
+                self.queue_out(
+                    tile,
+                    OutMsg {
+                        dst: out.dst,
+                        flits: out.flits,
+                        payload: NocPayload::Resp {
+                            resp: out.resp,
+                            flits: out.flits,
+                        },
+                    },
+                );
+            }
+        }
+
+        // 5. Inject due messages, preserving per-tile order under
+        //    backpressure.
+        for t in 0..self.out_uncore.len() {
+            let src = Coord::new(
+                (t % usize::from(self.cfg.mesh_width)) as u8,
+                (t / usize::from(self.cfg.mesh_width)) as u8,
+            );
+            loop {
+                let msg = if let Some(m) = self.out_retry[t].pop_front() {
+                    m
+                } else if let Some(m) = self.out_uncore[t].recv(now) {
+                    m
+                } else {
+                    break;
+                };
+                match self.mesh.inject(now, src, msg.dst, msg.flits, msg.payload) {
+                    Ok(()) => {}
+                    Err(back) => {
+                        self.out_retry[t].push_front(OutMsg {
+                            dst: msg.dst,
+                            flits: msg.flits,
+                            payload: back.0,
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 6. Advance the interconnect.
+        self.mesh.tick(now);
+
+        // 7. Occupancy sampling (Section 4.4: the queue-size study reads
+        // runahead through MAPLE's debug counters).
+        if now.0.is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
+            for (e, hists) in self.occupancy.iter_mut().enumerate() {
+                for (q, h) in hists.iter_mut().enumerate() {
+                    h.record(self.engines[e].queue(q as u8).occupancy() as u64);
+                }
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Runs until every loaded core halts or `max_cycles` elapse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program was loaded.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        assert!(!self.cores.is_empty(), "load programs before running");
+        while self.now.0 < max_cycles {
+            self.step();
+            if self.cores.iter().all(Core::is_halted) {
+                return RunOutcome::Finished(self.now);
+            }
+        }
+        RunOutcome::TimedOut(self.now)
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    // --- inspection -------------------------------------------------------
+
+    /// A loaded core.
+    #[must_use]
+    pub fn core(&self, i: usize) -> &Core {
+        &self.cores[i]
+    }
+
+    /// Number of loaded cores.
+    #[must_use]
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// A MAPLE engine.
+    #[must_use]
+    pub fn engine(&self, i: usize) -> &Engine {
+        &self.engines[i]
+    }
+
+    /// The shared L2.
+    #[must_use]
+    pub fn l2(&self) -> &SharedL2 {
+        &self.l2
+    }
+
+    /// The DROPLET prefetcher, when enabled.
+    #[must_use]
+    pub fn droplet(&self) -> Option<&DropletPrefetcher> {
+        self.droplet.as_ref()
+    }
+
+    /// Mesh statistics.
+    #[must_use]
+    pub fn mesh_stats(&self) -> &maple_noc::MeshStats {
+        self.mesh.stats()
+    }
+
+    /// Sampled occupancy distribution of engine `e`'s queue `q` (one
+    /// sample every [`OCCUPANCY_SAMPLE_PERIOD`] cycles) — the Section 4.4
+    /// runahead observable.
+    #[must_use]
+    pub fn queue_occupancy(&self, e: usize, q: u8) -> &maple_sim::stats::Histogram {
+        &self.occupancy[e][usize::from(q)]
+    }
+
+    /// Total load instructions retired across cores (Figure 10's metric).
+    #[must_use]
+    pub fn total_loads(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().loads.get()).sum()
+    }
+
+    /// Mean load-to-use latency across cores (Figure 11's metric),
+    /// weighted by load count.
+    #[must_use]
+    pub fn mean_load_latency(&self) -> f64 {
+        let mut h = maple_sim::stats::Histogram::new();
+        for c in &self.cores {
+            h.merge(&c.l1_stats().load_latency);
+        }
+        h.mean()
+    }
+}

@@ -1,0 +1,97 @@
+//! Virtual address types.
+
+use maple_mem::PAGE_SIZE;
+
+/// A virtual byte address (Sv39: 39 significant bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VAddr(pub u64);
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtPage(pub u64);
+
+impl VAddr {
+    /// The virtual page containing this address.
+    #[must_use]
+    pub fn page(self) -> VirtPage {
+        VirtPage(self.0 / PAGE_SIZE)
+    }
+
+    /// Offset within the page.
+    #[must_use]
+    pub fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Address advanced by `n` bytes.
+    #[must_use]
+    pub fn offset(self, n: u64) -> VAddr {
+        VAddr(self.0.wrapping_add(n))
+    }
+
+    /// The nine-bit index into the level-`level` table (2 = root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > 2`.
+    #[must_use]
+    pub fn vpn_index(self, level: u8) -> u64 {
+        assert!(level <= 2, "Sv39 has three levels (0..=2)");
+        (self.0 >> (12 + 9 * u64::from(level))) & 0x1ff
+    }
+}
+
+impl VirtPage {
+    /// The base address of this page.
+    #[must_use]
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 * PAGE_SIZE)
+    }
+}
+
+impl std::fmt::Display for VAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+
+impl std::fmt::Display for VirtPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_decomposition() {
+        let a = VAddr(0x1_2345);
+        assert_eq!(a.page(), VirtPage(0x12));
+        assert_eq!(a.page_offset(), 0x345);
+        assert_eq!(a.page().base(), VAddr(0x1_2000));
+        assert_eq!(a.offset(0x10), VAddr(0x1_2355));
+    }
+
+    #[test]
+    fn vpn_indices() {
+        // va = vpn2:vpn1:vpn0:offset = 3:2:1:0x10
+        let a = VAddr((3 << 30) | (2 << 21) | (1 << 12) | 0x10);
+        assert_eq!(a.vpn_index(2), 3);
+        assert_eq!(a.vpn_index(1), 2);
+        assert_eq!(a.vpn_index(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "three levels")]
+    fn bad_level_panics() {
+        let _ = VAddr(0).vpn_index(3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(VAddr(0x10).to_string(), "va:0x10");
+        assert_eq!(VirtPage(2).to_string(), "vpn:0x2");
+    }
+}

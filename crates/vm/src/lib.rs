@@ -1,0 +1,27 @@
+//! Virtual memory for the MAPLE SoC: Sv39-style page tables, TLBs and a
+//! hardware page-table walker.
+//!
+//! The paper's key systems claim is that MAPLE is a *first-class citizen of
+//! virtual memory* (Section 3.5): cores reach a MAPLE instance through a
+//! regular MMIO page mapping, and MAPLE itself translates the pointers it is
+//! handed using its own 16-entry fully-associative TLB and hardware PTW,
+//! raising page-fault interrupts handled by a driver and honouring TLB
+//! shootdowns. This crate provides those pieces:
+//!
+//! - [`addr::VAddr`], [`PageFlags`]: virtual addresses and page permissions
+//!   (including the MMIO attribute used for MAPLE instance pages).
+//! - [`page_table::PageTable`]: three-level tables that live *inside* the
+//!   simulated physical memory, so walks touch real simulated DRAM.
+//! - [`tlb::Tlb`]: the 16-entry fully-associative TLB both the Ariane cores
+//!   and MAPLE instantiate (Table 2), with LRU replacement and per-page
+//!   shootdown.
+//! - [`walker`]: walk-depth constants shared by every PTW timing model.
+
+pub mod addr;
+pub mod page_table;
+pub mod tlb;
+pub mod walker;
+
+pub use addr::{VAddr, VirtPage};
+pub use page_table::{FrameAllocator, PageFault, PageFlags, PageTable, Translation};
+pub use tlb::Tlb;

@@ -1,0 +1,37 @@
+//! Page-table-walk timing constants.
+//!
+//! A hardware PTW performs one memory read per table level. Both the core
+//! MMU and the MAPLE MMU charge [`WALK_LEVELS`] sequential reads served at
+//! the shared L2 (30 cycles each in the paper's configuration); callers
+//! compute the total with [`walk_latency`]. The *functional* walk is
+//! [`crate::page_table::PageTable::translate`], executed against the same
+//! simulated memory the OS wrote the tables into.
+
+/// Sv39 walk depth.
+pub const WALK_LEVELS: u64 = 3;
+
+/// Total PTW latency given the latency of one table-node read.
+///
+/// # Example
+///
+/// ```
+/// use maple_vm::walker::walk_latency;
+///
+/// assert_eq!(walk_latency(30), 90);
+/// ```
+#[must_use]
+pub fn walk_latency(per_level_read: u64) -> u64 {
+    WALK_LEVELS * per_level_read
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_is_levels_times_read() {
+        assert_eq!(walk_latency(0), 0);
+        assert_eq!(walk_latency(1), 3);
+        assert_eq!(walk_latency(30), 90);
+    }
+}

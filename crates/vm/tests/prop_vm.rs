@@ -1,0 +1,108 @@
+//! Property tests for virtual memory: page tables against a map model,
+//! TLBs against the table they cache (shootdown coherence).
+
+use maple_mem::phys::{PAddr, PhysMem, PAGE_SIZE};
+use maple_vm::page_table::{FrameAllocator, PageFlags, PageTable};
+use maple_vm::tlb::Tlb;
+use maple_vm::{VAddr, VirtPage};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum VmOp {
+    /// Map page `vpn` to a fresh frame.
+    Map(u64),
+    /// Unmap page `vpn`.
+    Unmap(u64),
+    /// Translate an address inside page `vpn`.
+    Translate(u64, u64),
+}
+
+fn vm_ops() -> impl Strategy<Value = Vec<VmOp>> {
+    let vpn = 0u64..64;
+    let op = prop_oneof![
+        vpn.clone().prop_map(VmOp::Map),
+        vpn.clone().prop_map(VmOp::Unmap),
+        (vpn, 0u64..PAGE_SIZE).prop_map(|(p, o)| VmOp::Translate(p, o)),
+    ];
+    proptest::collection::vec(op, 0..120)
+}
+
+proptest! {
+    #[test]
+    fn page_table_matches_map_model(ops in vm_ops()) {
+        let mut mem = PhysMem::new();
+        let mut frames = FrameAllocator::new(PAddr(0x100_0000), 32 << 20);
+        let mut pt = PageTable::new(&mut mem, &mut frames);
+        let mut model: HashMap<u64, u64> = HashMap::new(); // vpn -> frame base
+        for op in ops {
+            match op {
+                VmOp::Map(vpn) => {
+                    let frame = frames.alloc(&mut mem);
+                    pt.map(&mut mem, &mut frames, VAddr(vpn * PAGE_SIZE), frame, PageFlags::rw());
+                    model.insert(vpn, frame.0);
+                }
+                VmOp::Unmap(vpn) => {
+                    let existed = pt.unmap(&mut mem, VAddr(vpn * PAGE_SIZE));
+                    prop_assert_eq!(existed, model.remove(&vpn).is_some());
+                }
+                VmOp::Translate(vpn, off) => {
+                    let got = pt.translate(&mem, VAddr(vpn * PAGE_SIZE + off));
+                    match model.get(&vpn) {
+                        Some(frame) => {
+                            prop_assert_eq!(got.unwrap().paddr, PAddr(frame + off));
+                        }
+                        None => prop_assert!(got.is_err()),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tlb_never_serves_stale_translations(
+        ops in proptest::collection::vec((0u64..32, any::<bool>()), 0..200)
+    ) {
+        // Interleave inserts and shootdowns; a lookup must only ever
+        // return what the "page table" (model) currently says.
+        let mut tlb = Tlb::new(16);
+        let mut table: HashMap<u64, u64> = HashMap::new();
+        let mut next_frame = 0x1000u64;
+        for (vpn, remap) in ops {
+            if remap {
+                // Kernel remaps the page: shootdown + new translation.
+                tlb.shootdown(VirtPage(vpn));
+                next_frame += PAGE_SIZE;
+                table.insert(vpn, next_frame);
+            }
+            // Hardware path: TLB hit must agree with the table; on a
+            // miss, walk and refill.
+            match tlb.lookup(VirtPage(vpn)) {
+                Some(e) => {
+                    let expect = table.get(&vpn).copied();
+                    prop_assert_eq!(Some(e.frame.0), expect, "stale TLB entry for vpn {}", vpn);
+                }
+                None => {
+                    if let Some(&f) = table.get(&vpn) {
+                        tlb.insert(VirtPage(vpn), PAddr(f), PageFlags::rw());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn walk_reads_go_through_simulated_memory() {
+    // Corrupting the page-table bytes in memory corrupts translation —
+    // proof the walker really reads the simulated table.
+    let mut mem = PhysMem::new();
+    let mut frames = FrameAllocator::new(PAddr(0x100_0000), 8 << 20);
+    let mut pt = PageTable::new(&mut mem, &mut frames);
+    let frame = frames.alloc(&mut mem);
+    pt.map(&mut mem, &mut frames, VAddr(0x5000), frame, PageFlags::rw());
+    assert!(pt.translate(&mem, VAddr(0x5000)).is_ok());
+    // Zero the root table: every translation must now fault.
+    mem.write_bytes(pt.root(), &[0u8; PAGE_SIZE as usize]);
+    assert!(pt.translate(&mem, VAddr(0x5000)).is_err());
+}

@@ -1,0 +1,130 @@
+//! Edge-case tests: degenerate problem instances through the full stack.
+//! Empty matrices, empty rows, isolated BFS roots, and single-element
+//! inputs must all complete and verify — in every variant.
+
+use crate::bfs::Bfs;
+use crate::data::{dense_vector, Csr};
+use crate::harness::Variant;
+use crate::sdhp::Sdhp;
+use crate::spmv::Spmv;
+
+fn csr_from(nrows: usize, ncols: usize, rows: &[Vec<(u32, u32)>]) -> Csr {
+    Csr::from_rows(nrows, ncols, rows)
+}
+
+#[test]
+fn spmv_with_empty_rows_everywhere() {
+    // Alternating empty and tiny rows.
+    let rows: Vec<Vec<(u32, u32)>> = (0..16)
+        .map(|r| {
+            if r % 2 == 0 {
+                Vec::new()
+            } else {
+                vec![(r as u32 * 3 % 64, 5)]
+            }
+        })
+        .collect();
+    let a = csr_from(16, 64, &rows);
+    let inst = Spmv {
+        a,
+        x: dense_vector(64, 9),
+    };
+    for (v, t) in [
+        (Variant::Doall, 1),
+        (Variant::MapleDecoupled, 2),
+        (Variant::SwDecoupled, 2),
+        (Variant::Desc, 2),
+        (Variant::MapleLima, 1),
+    ] {
+        let s = inst.run(v, t);
+        assert!(s.verified, "{} failed on empty rows", v.label());
+    }
+}
+
+#[test]
+fn spmv_with_completely_empty_matrix() {
+    let a = csr_from(8, 32, &vec![Vec::new(); 8]);
+    let inst = Spmv {
+        a,
+        x: dense_vector(32, 1),
+    };
+    for (v, t) in [
+        (Variant::Doall, 2),
+        (Variant::MapleDecoupled, 2),
+        (Variant::MapleLima, 1),
+    ] {
+        let s = inst.run(v, t);
+        assert!(s.verified, "{} failed on empty matrix", v.label());
+        assert!(s.cycles > 0);
+    }
+}
+
+#[test]
+fn spmv_single_element() {
+    let a = csr_from(1, 4, &[vec![(2, 7)]]);
+    let inst = Spmv {
+        a,
+        x: vec![1, 2, 3, 4],
+    };
+    let s = inst.run(Variant::MapleDecoupled, 2);
+    assert!(s.verified);
+}
+
+#[test]
+fn sdhp_empty_instance() {
+    let inst = Sdhp {
+        dense: vec![0; 16],
+        lin: Vec::new(),
+        values: Vec::new(),
+    };
+    assert!(inst.run(Variant::Doall, 1).verified);
+    assert!(inst.run(Variant::MapleDecoupled, 2).verified);
+}
+
+#[test]
+fn bfs_isolated_root_terminates_immediately() {
+    // Root has no out-edges: the frontier empties after level 1.
+    let mut rows: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 8];
+    rows[1] = vec![(2, 1), (3, 1)]; // unreachable from root 0
+    let graph = csr_from(8, 8, &rows);
+    let inst = Bfs { graph, root: 0 };
+    let d = inst.reference();
+    assert_eq!(d[0], 0);
+    assert!(d[1..].iter().all(|&x| x == u32::MAX));
+    for (v, t) in [
+        (Variant::Doall, 2),
+        (Variant::MapleDecoupled, 2),
+        (Variant::Desc, 2),
+    ] {
+        let s = inst.run(v, t);
+        assert!(s.verified, "{} failed on isolated root", v.label());
+    }
+}
+
+#[test]
+fn bfs_self_loop_and_chain() {
+    // Root with a self-loop plus a chain: distances 0,1,2,3.
+    let rows = vec![
+        vec![(0u32, 1u32), (1, 1)],
+        vec![(2, 1)],
+        vec![(3, 1)],
+        Vec::new(),
+    ];
+    let graph = csr_from(4, 4, &rows);
+    let inst = Bfs { graph, root: 0 };
+    assert_eq!(inst.reference(), vec![0, 1, 2, 3]);
+    assert!(inst.run(Variant::MapleDecoupled, 2).verified);
+    assert!(inst.run(Variant::MapleLima, 1).verified);
+}
+
+#[test]
+fn more_threads_than_rows_is_fine() {
+    let a = csr_from(3, 32, &[vec![(1, 2)], vec![(5, 3)], vec![(9, 4)]]);
+    let inst = Spmv {
+        a,
+        x: dense_vector(32, 2),
+    };
+    // 8 threads over 3 rows: most partitions are empty.
+    assert!(inst.run(Variant::Doall, 8).verified);
+    assert!(inst.run(Variant::MapleDecoupled, 8).verified);
+}

@@ -1,0 +1,225 @@
+//! Shared machinery for running a kernel variant on the simulated SoC and
+//! extracting the statistics every figure reports.
+
+use maple_soc::config::SocConfig;
+use maple_soc::system::System;
+use maple_vm::VAddr;
+
+/// The latency-tolerance technique under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Plain do-all parallelism across `threads` cores (the Figure 8/12
+    /// baseline; with one thread, the Figure 9 "no prefetching" baseline).
+    Doall,
+    /// Software-only decoupling through shared-memory ring buffers
+    /// (1 Access + 1 Execute thread per pair).
+    SwDecoupled,
+    /// Decoupling through MAPLE queues (`PRODUCE_PTR`/`CONSUME`).
+    MapleDecoupled,
+    /// DeSC: coupled architectural queues with terminal loads (requires
+    /// the ISA extension and core pairing).
+    Desc,
+    /// Software prefetching with the given iteration distance.
+    SwPrefetch {
+        /// Prefetch distance in loop iterations.
+        dist: u32,
+    },
+    /// MAPLE's LIMA operation (non-speculative into queues, or
+    /// speculative into the LLC where the kernel's IMA is a
+    /// read-modify-write).
+    MapleLima,
+    /// Do-all with the DROPLET memory-side prefetcher enabled.
+    Droplet,
+}
+
+impl Variant {
+    /// Short label for result tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Doall => "doall",
+            Variant::SwDecoupled => "sw-dec",
+            Variant::MapleDecoupled => "maple-dec",
+            Variant::Desc => "desc",
+            Variant::SwPrefetch { .. } => "sw-pref",
+            Variant::MapleLima => "maple-lima",
+            Variant::Droplet => "droplet",
+        }
+    }
+}
+
+/// Per-core diagnostic detail.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreDetail {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles blocked on memory responses.
+    pub mem_stall_cycles: u64,
+    /// Load instructions retired.
+    pub loads: u64,
+}
+
+/// Measured outcome of one kernel run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Total cycles to completion.
+    pub cycles: u64,
+    /// Load instructions retired across all cores (Figure 10).
+    pub loads: u64,
+    /// Mean load-to-use latency in cycles (Figure 11).
+    pub mean_load_latency: f64,
+    /// Whether the simulated result matched the host reference.
+    pub verified: bool,
+    /// Per-core breakdown (diagnostics).
+    pub cores: Vec<CoreDetail>,
+    /// Engine-0 counters (diagnostics): memory fetches, produce stalls,
+    /// consume stalls, TLB misses.
+    pub engine: (u64, u64, u64, u64),
+    /// Mean sampled occupancy of engine 0's queue 0 — the Section 4.4
+    /// runahead observable.
+    pub queue0_occupancy_mean: f64,
+}
+
+impl RunStats {
+    /// Speedup of this run relative to `baseline`.
+    #[must_use]
+    pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
+        baseline.cycles as f64 / self.cycles as f64
+    }
+}
+
+/// Builds the system configuration for a variant/thread-count pair.
+#[must_use]
+pub fn config_for(variant: Variant, threads: usize) -> SocConfig {
+    let mut cfg = SocConfig::fpga_prototype().with_cores(threads.max(2));
+    if matches!(variant, Variant::Droplet) {
+        cfg = cfg.with_droplet(maple_baselines::droplet::DropletConfig::default());
+    }
+    cfg
+}
+
+/// Uploads a `u32` slice into freshly allocated device memory.
+pub fn upload_u32(sys: &mut System, data: &[u32]) -> VAddr {
+    let va = sys.alloc((data.len().max(1) * 4) as u64);
+    sys.write_slice_u32(va, data);
+    va
+}
+
+/// Allocates zeroed device memory for `words` u32 values.
+pub fn alloc_u32(sys: &mut System, words: usize) -> VAddr {
+    sys.alloc((words.max(1) * 4) as u64)
+}
+
+/// Finishes a run: checks completion, downloads `out_words` from
+/// `out_va`, compares with `expected`, and packages the stats.
+pub fn finish(
+    sys: &mut System,
+    outcome: maple_sim::RunOutcome,
+    out_va: VAddr,
+    expected: &[u32],
+) -> RunStats {
+    let finished = outcome.is_finished();
+    let got = sys.read_slice_u32(out_va, expected.len());
+    let cores = (0..sys.core_count())
+        .map(|i| {
+            let s = sys.core(i).stats();
+            CoreDetail {
+                instructions: s.instructions.get(),
+                mem_stall_cycles: s.mem_stall_cycles.get(),
+                loads: s.loads.get(),
+            }
+        })
+        .collect();
+    let e = sys.engine(0).stats();
+    RunStats {
+        cycles: outcome.cycle().0,
+        loads: sys.total_loads(),
+        mean_load_latency: sys.mean_load_latency(),
+        verified: finished && got == expected,
+        cores,
+        engine: (
+            e.mem_fetches.get(),
+            e.produce_stalls.get(),
+            e.consume_stalls.get(),
+            sys.engine(0).tlb_misses(),
+        ),
+        queue0_occupancy_mean: sys.queue_occupancy(0, 0).mean(),
+    }
+}
+
+/// Splits `n` items into `threads` contiguous chunks; returns `(lo, hi)`
+/// per thread.
+#[must_use]
+pub fn partition(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunk = n.div_ceil(threads.max(1));
+    (0..threads)
+        .map(|t| {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            (lo, hi)
+        })
+        .collect()
+}
+
+/// Cycle budget for kernel runs (generous; runs that exceed it are
+/// reported unverified rather than hanging the harness).
+pub const MAX_CYCLES: u64 = 600_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for t in [1usize, 2, 3, 4, 8] {
+                let parts = partition(n, t);
+                assert_eq!(parts.len(), t);
+                let total: usize = parts.iter().map(|(lo, hi)| hi - lo).sum();
+                assert_eq!(total, n, "n={n} t={t}");
+                // Contiguous and ordered.
+                let mut prev = 0;
+                for (lo, hi) in parts {
+                    assert!(lo <= hi);
+                    assert_eq!(lo, prev.min(n));
+                    prev = hi;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_computation() {
+        let base = RunStats {
+            cycles: 1000,
+            loads: 0,
+            mean_load_latency: 0.0,
+            verified: true,
+            cores: Vec::new(),
+            engine: (0, 0, 0, 0),
+            queue0_occupancy_mean: 0.0,
+        };
+        let fast = RunStats {
+            cycles: 500,
+            ..base.clone()
+        };
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variant_labels_unique() {
+        let labels = [
+            Variant::Doall.label(),
+            Variant::SwDecoupled.label(),
+            Variant::MapleDecoupled.label(),
+            Variant::Desc.label(),
+            Variant::SwPrefetch { dist: 8 }.label(),
+            Variant::MapleLima.label(),
+            Variant::Droplet.label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -1,0 +1,15 @@
+//! The paper's evaluation workloads (Section 4.1) over the simulated SoC:
+//! SDHP, SPMM, SPMV and BFS, each in every latency-tolerance variant the
+//! figures compare, with host-side reference implementations every run is
+//! verified against.
+
+pub mod bfs;
+pub mod data;
+#[cfg(test)]
+mod edge_tests;
+pub mod harness;
+pub mod sdhp;
+pub mod spmm;
+pub mod spmv;
+
+pub use harness::{RunStats, Variant};

@@ -1,0 +1,65 @@
+//! Property tests at the full-system level: for randomly generated
+//! problem instances, every execution strategy computes exactly the host
+//! reference — the model-level analogue of the paper's formal
+//! verification giving confidence across the input space.
+
+use maple_workloads::data::{dense_vector, Csr};
+use maple_workloads::sdhp::Sdhp;
+use maple_workloads::spmv::Spmv;
+use maple_workloads::Variant;
+use proptest::prelude::*;
+
+/// Random small CSR with the given bounds.
+fn csr_strategy(max_rows: usize, ncols: usize) -> impl Strategy<Value = Csr> {
+    (1..max_rows, 0u64..u64::MAX).prop_map(move |(rows, seed)| {
+        let mut rng = maple_sim::rng::SimRng::seed(seed);
+        let rows_vec: Vec<Vec<(u32, u32)>> = (0..rows)
+            .map(|_| {
+                let nnz = rng.below(9) as usize;
+                let mut cols: Vec<u32> = (0..nnz)
+                    .map(|_| rng.below(ncols as u64) as u32)
+                    .collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, 1 + rng.below(100) as u32))
+                    .collect()
+            })
+            .collect();
+        Csr::from_rows(rows, ncols, &rows_vec)
+    })
+}
+
+proptest! {
+    // Full-system runs are expensive; a handful of random cases per
+    // property still covers empty rows, single rows, duplicate gather
+    // targets and skewed shapes.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn spmv_variants_match_reference(a in csr_strategy(24, 1024), seed in 0u64..1000) {
+        let x = dense_vector(1024, seed);
+        let inst = Spmv { a, x };
+        for (v, t) in [
+            (Variant::Doall, 1),
+            (Variant::MapleDecoupled, 2),
+            (Variant::MapleLima, 1),
+        ] {
+            let s = inst.run(v, t);
+            prop_assert!(s.verified, "{} diverged from reference", v.label());
+        }
+    }
+
+    #[test]
+    fn sdhp_variants_match_reference(a in csr_strategy(16, 512), seed in 0u64..1000) {
+        let inst = Sdhp::from_sparse(&a, seed);
+        for (v, t) in [
+            (Variant::Doall, 2),
+            (Variant::SwDecoupled, 2),
+            (Variant::Desc, 2),
+        ] {
+            let s = inst.run(v, t);
+            prop_assert!(s.verified, "{} diverged from reference", v.label());
+        }
+    }
+}
