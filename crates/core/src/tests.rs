@@ -525,6 +525,107 @@ fn reset_during_lima_ignores_stale_chunk_responses() {
 }
 
 #[test]
+fn queue_wraps_around_many_times_without_corruption() {
+    // Cycle far more entries than the ring holds (default: 32 × 4 B) in
+    // mixed burst sizes, so head/tail wrap the backing ring repeatedly
+    // and land on every alignment. Values must come out in FIFO order
+    // and the conservation counters must account for every entry.
+    let mut b = Bench::new(MapleConfig::default());
+    let total = 200u64;
+    let mut produced = 0u64;
+    let mut consumed = 0u64;
+    while consumed < total {
+        // Produce a burst (bounded by remaining work and queue space).
+        let burst = [1u64, 7, 32, 3][(produced % 4) as usize]
+            .min(total - produced)
+            .min(32 - (produced - consumed));
+        for _ in 0..burst {
+            let id = b.store(StoreOp::Produce, 0, 0x1_0000 + produced);
+            b.run_until_ack(id, 200);
+            produced += 1;
+        }
+        // Drain roughly half of what is outstanding (at least one).
+        let drain = ((produced - consumed) / 2).max(1);
+        for _ in 0..drain {
+            let c = b.load(LoadOp::Consume, 0, 4);
+            assert_eq!(b.run_until_ack(c, 200), 0x1_0000 + consumed, "FIFO order after wrap");
+            consumed += 1;
+        }
+    }
+    assert_eq!(b.engine.queue(0).produced.get(), total);
+    assert_eq!(b.engine.queue(0).consumed.get(), total);
+    assert!(b.engine.queue(0).is_empty());
+}
+
+#[test]
+fn occupancy_stat_tracks_full_and_empty_boundaries() {
+    // STAT_OCCUPANCY over the whole hysteresis loop: empty → full →
+    // empty, checked at every step against the ground-truth queue state.
+    let mut b = Bench::new(MapleConfig::default()); // 32 entries
+    let occ = |b: &mut Bench| {
+        let s = b.load(LoadOp::StatOccupancy, 0, 8);
+        b.run_until_ack(s, 200)
+    };
+    assert_eq!(occ(&mut b), 0, "fresh queue is empty");
+    for i in 0..32u64 {
+        let id = b.store(StoreOp::Produce, 0, i);
+        b.run_until_ack(id, 200);
+        assert_eq!(occ(&mut b), i + 1);
+    }
+    assert!(b.engine.queue(0).is_full(), "32nd produce fills the queue");
+    // One more produce is withheld; occupancy must not exceed capacity.
+    let extra = b.store(StoreOp::Produce, 0, 99);
+    b.run(200);
+    assert_eq!(b.ack_of(extra), None);
+    assert_eq!(occ(&mut b), 32, "occupancy saturates at capacity");
+    for i in 0..32u64 {
+        let c = b.load(LoadOp::Consume, 0, 4);
+        assert_eq!(b.run_until_ack(c, 200), i);
+    }
+    // The buffered 33rd produce slid into the freed slot.
+    b.run_until_ack(extra, 200);
+    assert_eq!(occ(&mut b), 1);
+    let c = b.load(LoadOp::Consume, 0, 4);
+    assert_eq!(b.run_until_ack(c, 200), 99);
+    assert_eq!(occ(&mut b), 0, "fully drained");
+    assert!(b.engine.queue(0).is_empty());
+}
+
+#[test]
+fn mixed_produce_and_produce_ptr_keep_program_order() {
+    // Interleave immediate PRODUCEs (fill at once) with PRODUCE_PTRs
+    // (fill only when the DRAM fetch returns, hundreds of cycles later).
+    // The CONSUME stream must still observe strict program order: an
+    // immediate value enqueued *after* a pointer must not overtake it.
+    let mut b = Bench::new(MapleConfig::default());
+    let pa = b.map(0x4000_0000, 1);
+    for i in 0..8u64 {
+        b.mem.write_u32(pa.offset(i * 4), (500 + i) as u32);
+    }
+    // Program order: ptr(500), imm(1), ptr(501), imm(2), ... — issued
+    // back-to-back without waiting, so pointer fetches are still in
+    // flight when the immediates arrive.
+    let mut expect = Vec::new();
+    let mut ids = Vec::new();
+    for i in 0..8u64 {
+        ids.push(b.store(StoreOp::ProducePtr, 0, 0x4000_0000 + i * 4));
+        expect.push(500 + i);
+        ids.push(b.store(StoreOp::Produce, 0, i + 1));
+        expect.push(i + 1);
+    }
+    for id in ids {
+        b.run_until_ack(id, 10_000);
+    }
+    for (i, e) in expect.iter().enumerate() {
+        let c = b.load(LoadOp::Consume, 0, 4);
+        assert_eq!(b.run_until_ack(c, 10_000), *e, "position {i} out of program order");
+    }
+    assert!(b.engine.queue(0).is_empty());
+    assert_eq!(b.engine.queue(0).produced.get(), 16);
+    assert_eq!(b.engine.queue(0).consumed.get(), 16);
+}
+
+#[test]
 fn mmio_offsets_stay_inside_one_page() {
     for q in 0..8 {
         assert!(store_offset(StoreOp::FaultResume, q) < maple_mem::PAGE_SIZE);

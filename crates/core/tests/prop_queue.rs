@@ -4,7 +4,7 @@
 //! under arbitrary memory-response reordering.
 
 use maple_core::queue::{FifoQueue, QueueController, QueueError, Slot};
-use proptest::prelude::*;
+use maple_testkit::{check, gen, tk_assert, tk_assert_eq, Config, Gen, SimRng};
 use std::collections::VecDeque;
 
 #[derive(Debug, Clone)]
@@ -16,50 +16,86 @@ enum Op {
     Pop,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u64>().prop_map(Op::Push),
-        Just(Op::Reserve),
-        (any::<usize>(), any::<u64>()).prop_map(|(i, v)| Op::Fill(i, v)),
-        Just(Op::Pop),
-    ]
+/// Generates queue operations uniformly; shrinks payload values toward
+/// zero and indices toward the oldest reservation, and demotes any op to
+/// the structurally simplest one (`Pop`).
+struct OpGen;
+
+impl Gen for OpGen {
+    type Value = Op;
+
+    fn generate(&self, rng: &mut SimRng) -> Op {
+        match rng.below(4) {
+            0 => Op::Push(rng.next_u64()),
+            1 => Op::Reserve,
+            2 => Op::Fill(rng.next_u64() as usize, rng.next_u64()),
+            _ => Op::Pop,
+        }
+    }
+
+    fn shrink(&self, value: &Op) -> Vec<Op> {
+        let mut out = Vec::new();
+        match value {
+            Op::Push(v) => {
+                out.push(Op::Pop);
+                out.extend(gen::shrink_u64(*v).into_iter().take(4).map(Op::Push));
+            }
+            Op::Reserve => out.push(Op::Pop),
+            Op::Fill(i, v) => {
+                out.push(Op::Pop);
+                out.extend(
+                    gen::shrink_u64(*i as u64)
+                        .into_iter()
+                        .take(2)
+                        .map(|i| Op::Fill(i as usize, *v)),
+                );
+                out.extend(
+                    gen::shrink_u64(*v)
+                        .into_iter()
+                        .take(2)
+                        .map(|v| Op::Fill(*i, v)),
+                );
+            }
+            Op::Pop => {}
+        }
+        out
+    }
 }
 
-proptest! {
-    #[test]
-    fn queue_matches_reference_model(
-        capacity in 1usize..64,
-        ops in proptest::collection::vec(op_strategy(), 0..200),
-    ) {
+#[test]
+fn queue_matches_reference_model() {
+    let inputs = (gen::usize_in(1..64), gen::vec_of(OpGen, 0, 200));
+    check(&Config::new("queue_matches_reference_model"), &inputs, |input| {
+        let (capacity, ops) = input;
+        let capacity = *capacity;
         let mut q = FifoQueue::new(capacity, 8);
         // Reference model: FIFO of either a value or a pending ticket.
         let mut model: VecDeque<Option<u64>> = VecDeque::new();
-        let outstanding: Vec<(Slot, usize)> = Vec::new(); // (slot, model idx disabled)
         let mut pending_slots: Vec<Slot> = Vec::new();
 
         for op in ops {
             match op {
                 Op::Push(v) => {
                     let expect_full = model.len() >= capacity;
-                    match q.push(v) {
+                    match q.push(*v) {
                         Ok(()) => {
-                            prop_assert!(!expect_full, "push succeeded on full queue");
-                            model.push_back(Some(v));
+                            tk_assert!(!expect_full, "push succeeded on full queue");
+                            model.push_back(Some(*v));
                         }
-                        Err(QueueError::Full) => prop_assert!(expect_full),
-                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                        Err(QueueError::Full) => tk_assert!(expect_full),
+                        Err(e) => tk_assert!(false, "unexpected error {e:?}"),
                     }
                 }
                 Op::Reserve => {
                     let expect_full = model.len() >= capacity;
                     match q.reserve() {
                         Ok(slot) => {
-                            prop_assert!(!expect_full);
+                            tk_assert!(!expect_full);
                             model.push_back(None);
                             pending_slots.push(slot);
                         }
-                        Err(QueueError::Full) => prop_assert!(expect_full),
-                        Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+                        Err(QueueError::Full) => tk_assert!(expect_full),
+                        Err(e) => tk_assert!(false, "unexpected error {e:?}"),
                     }
                 }
                 Op::Fill(i, v) => {
@@ -68,13 +104,13 @@ proptest! {
                     }
                     let idx = i % pending_slots.len();
                     let slot = pending_slots.remove(idx);
-                    q.fill(slot, v);
+                    q.fill(slot, *v);
                     // Patch the model: the idx-th unfilled entry becomes v.
                     let mut seen = 0;
                     for e in &mut model {
                         if e.is_none() {
                             if seen == idx {
-                                *e = Some(v);
+                                *e = Some(*v);
                                 break;
                             }
                             seen += 1;
@@ -87,39 +123,44 @@ proptest! {
                         _ => None,
                     };
                     let got = q.pop();
-                    prop_assert_eq!(got, expect, "pop mismatch");
+                    tk_assert_eq!(got, expect, "pop mismatch");
                     if got.is_some() {
                         model.pop_front();
                     }
                 }
             }
-            prop_assert_eq!(q.occupancy(), model.len());
-            prop_assert_eq!(q.is_full(), model.len() >= capacity);
-            let _ = &outstanding;
+            tk_assert_eq!(q.occupancy(), model.len());
+            tk_assert_eq!(q.is_full(), model.len() >= capacity);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn out_of_order_fills_always_pop_in_program_order(
-        values in proptest::collection::vec(any::<u64>(), 1..32),
-        order_seed in any::<u64>(),
-    ) {
-        let n = values.len();
-        let mut q = FifoQueue::new(n, 8);
-        let slots: Vec<Slot> = (0..n).map(|_| q.reserve().unwrap()).collect();
-        // Fill in a pseudo-random order.
-        let mut idx: Vec<usize> = (0..n).collect();
-        let mut rng = maple_sim::rng::SimRng::seed(order_seed);
-        rng.shuffle(&mut idx);
-        for &i in &idx {
-            q.fill(slots[i], values[i]);
-        }
-        // Pops return the original program order.
-        for v in &values {
-            prop_assert_eq!(q.pop(), Some(*v));
-        }
-        prop_assert!(q.is_empty());
-    }
+#[test]
+fn out_of_order_fills_always_pop_in_program_order() {
+    let inputs = (gen::vec_of(gen::u64_any(), 1, 31), gen::u64_any());
+    check(
+        &Config::new("out_of_order_fills_always_pop_in_program_order"),
+        &inputs,
+        |(values, order_seed)| {
+            let n = values.len();
+            let mut q = FifoQueue::new(n, 8);
+            let slots: Vec<Slot> = (0..n).map(|_| q.reserve().unwrap()).collect();
+            // Fill in a pseudo-random order.
+            let mut idx: Vec<usize> = (0..n).collect();
+            let mut rng = SimRng::seed(*order_seed);
+            rng.shuffle(&mut idx);
+            for &i in &idx {
+                q.fill(slots[i], values[i]);
+            }
+            // Pops return the original program order.
+            for v in values {
+                tk_assert_eq!(q.pop(), Some(*v));
+            }
+            tk_assert!(q.is_empty());
+            Ok(())
+        },
+    );
 }
 
 #[test]

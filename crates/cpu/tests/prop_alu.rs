@@ -1,17 +1,31 @@
-#![allow(clippy::explicit_counter_loop)]
-
 //! Property test: the core's functional interpretation of straight-line
 //! ALU programs matches a host-side model exactly, for random programs.
+
+#![allow(clippy::explicit_counter_loop)]
 
 use maple_cpu::{Core, CpuConfig};
 use maple_isa::builder::ProgramBuilder;
 use maple_isa::{AluOp, Operand, Program, Reg};
 use maple_mem::phys::{PAddr, PhysMem};
 use maple_sim::Cycle;
+use maple_testkit::{check, gen, tk_assert, tk_assert_eq, Config, Gen, SimRng};
 use maple_vm::page_table::{FrameAllocator, PageTable};
-use proptest::prelude::*;
 
 const WORK_REGS: u8 = 6;
+
+const OPS: [AluOp; 11] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::SltU,
+    AluOp::MinU,
+    AluOp::MaxU,
+];
 
 #[derive(Debug, Clone, Copy)]
 struct RandInst {
@@ -23,36 +37,48 @@ struct RandInst {
     imm: i64,
 }
 
-fn inst_strategy() -> impl Strategy<Value = RandInst> {
-    let ops = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::SltU),
-        Just(AluOp::MinU),
-        Just(AluOp::MaxU),
-    ];
-    (
-        ops,
-        1..=WORK_REGS,
-        1..=WORK_REGS,
-        any::<bool>(),
-        1..=WORK_REGS,
-        -64i64..64,
-    )
-        .prop_map(|(op, rd, rs1, rs2_reg, rs2, imm)| RandInst {
-            op,
-            rd,
-            rs1,
-            rs2_reg,
-            rs2,
-            imm,
-        })
+/// Generates one random instruction; shrinks the opcode toward `Add`, the
+/// immediate toward zero, and register numbers toward r1.
+struct InstGen;
+
+impl Gen for InstGen {
+    type Value = RandInst;
+
+    fn generate(&self, rng: &mut SimRng) -> RandInst {
+        RandInst {
+            op: OPS[rng.below(OPS.len() as u64) as usize],
+            rd: 1 + rng.below(u64::from(WORK_REGS)) as u8,
+            rs1: 1 + rng.below(u64::from(WORK_REGS)) as u8,
+            rs2_reg: rng.chance(0.5),
+            rs2: 1 + rng.below(u64::from(WORK_REGS)) as u8,
+            imm: rng.range(0, 128) as i64 - 64,
+        }
+    }
+
+    fn shrink(&self, i: &RandInst) -> Vec<RandInst> {
+        let mut out = Vec::new();
+        if i.op != AluOp::Add {
+            out.push(RandInst { op: AluOp::Add, ..*i });
+        }
+        for imm in gen::shrink_i64_toward(i.imm, 0).into_iter().take(3) {
+            out.push(RandInst { imm, ..*i });
+        }
+        for (field, get) in [(0u8, i.rd), (1, i.rs1), (2, i.rs2)] {
+            if get > 1 {
+                let mut next = *i;
+                match field {
+                    0 => next.rd = 1,
+                    1 => next.rs1 = 1,
+                    _ => next.rs2 = 1,
+                }
+                out.push(next);
+            }
+        }
+        if i.rs2_reg {
+            out.push(RandInst { rs2_reg: false, ..*i });
+        }
+        out
+    }
 }
 
 fn build(seeds: &[u64], insts: &[RandInst]) -> Program {
@@ -87,16 +113,17 @@ fn model(seeds: &[u64], insts: &[RandInst]) -> Vec<u64> {
     r
 }
 
-proptest! {
-    #[test]
-    fn core_matches_host_model(
-        seeds in proptest::collection::vec(any::<u64>(), WORK_REGS as usize..=WORK_REGS as usize),
-        insts in proptest::collection::vec(inst_strategy(), 0..60),
-    ) {
+#[test]
+fn core_matches_host_model() {
+    let inputs = (
+        gen::vec_of(gen::u64_any(), WORK_REGS as usize, WORK_REGS as usize),
+        gen::vec_of(InstGen, 0, 60),
+    );
+    check(&Config::new("core_matches_host_model"), &inputs, |(seeds, insts)| {
         let mut mem = PhysMem::new();
         let mut frames = FrameAllocator::new(PAddr(0x100_0000), 4 << 20);
         let pt = PageTable::new(&mut mem, &mut frames);
-        let mut core = Core::new(0, CpuConfig::default(), build(&seeds, &insts), pt);
+        let mut core = Core::new(0, CpuConfig::default(), build(seeds, insts), pt);
         let mut now = Cycle::ZERO;
         for _ in 0..(insts.len() * 8 + 100) {
             core.tick(now, &mut mem, None);
@@ -105,16 +132,17 @@ proptest! {
             }
             now += 1;
         }
-        prop_assert!(core.is_halted(), "ALU program must halt");
-        let expect = model(&seeds, &insts);
+        tk_assert!(core.is_halted(), "ALU program must halt");
+        let expect = model(seeds, insts);
         for (i, e) in expect.iter().enumerate() {
             // Builder allocates work registers starting at r1.
-            prop_assert_eq!(core.reg(Reg(i as u8 + 1)), *e, "register {}", i);
+            tk_assert_eq!(core.reg(Reg(i as u8 + 1)), *e, "register {i}");
         }
         // Instruction count: seeds + insts + halt.
-        prop_assert_eq!(
+        tk_assert_eq!(
             core.stats().instructions.get(),
             (seeds.len() + insts.len() + 1) as u64
         );
-    }
+        Ok(())
+    });
 }

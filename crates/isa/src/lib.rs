@@ -26,13 +26,11 @@
 
 pub mod builder;
 
-use serde::{Deserialize, Serialize};
-
 /// Number of architectural registers.
 pub const NUM_REGS: usize = 64;
 
 /// An architectural register. `Reg(0)` is hardwired to zero.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Reg(pub u8);
 
 /// The always-zero register.
@@ -45,7 +43,7 @@ impl std::fmt::Display for Reg {
 }
 
 /// Second ALU operand: register or immediate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operand {
     /// A register value.
     Reg(Reg),
@@ -75,7 +73,7 @@ impl std::fmt::Display for Operand {
 }
 
 /// Two-source ALU operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -131,7 +129,7 @@ impl AluOp {
 }
 
 /// Branch conditions (unsigned comparisons).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cond {
     /// Equal.
     Eq,
@@ -157,7 +155,7 @@ impl Cond {
 }
 
 /// Load cacheability class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LdClass {
     /// Ordinary cacheable load.
     Normal,
@@ -169,7 +167,7 @@ pub enum LdClass {
 
 /// Atomic operations (mirror of the memory system's AMO kinds; `expected`
 /// for CAS comes from a register).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AtomicOp {
     /// Fetch-and-add.
     Add,
@@ -185,7 +183,7 @@ pub enum AtomicOp {
 }
 
 /// One instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Inst {
     /// Load immediate.
     Li {
@@ -408,7 +406,7 @@ impl Inst {
 
 /// A complete program: a linear instruction sequence with resolved branch
 /// targets, starting at index 0.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     insts: Vec<Inst>,
 }

@@ -1,15 +1,15 @@
-#![allow(clippy::explicit_counter_loop)]
-
 //! Property test: a full L1 + L2 + DRAM stack, driven with random loads
 //! and stores, always returns the values a simple memory model predicts
 //! (read-your-writes, arbitrary hit/miss interleavings, MSHR merging).
+
+#![allow(clippy::explicit_counter_loop)]
 
 use maple_mem::dram::DramConfig;
 use maple_mem::l1::{CoreOp, CoreReq, L1Cache, L1Config};
 use maple_mem::l2::{L2Config, SharedL2};
 use maple_mem::phys::{PAddr, PhysMem};
 use maple_sim::Cycle;
-use proptest::prelude::*;
+use maple_testkit::{check, gen, tk_assert, Config, Gen, SimRng};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
@@ -20,40 +20,87 @@ enum MemOp {
     Prefetch(u64),
 }
 
-fn ops() -> impl Strategy<Value = Vec<MemOp>> {
-    // Small address space to force aliasing, eviction and merging.
-    let addr = (0u64..2048).prop_map(|a| a * 8);
-    let op = prop_oneof![
-        addr.clone().prop_map(MemOp::Load),
-        (addr.clone(), any::<u64>()).prop_map(|(a, v)| MemOp::Store(a, v)),
-        addr.clone().prop_map(MemOp::VolatileLoad),
-        addr.prop_map(MemOp::Prefetch),
-    ];
-    proptest::collection::vec(op, 0..150)
+impl MemOp {
+    fn addr(self) -> u64 {
+        match self {
+            MemOp::Load(a) | MemOp::VolatileLoad(a) | MemOp::Prefetch(a) | MemOp::Store(a, _) => a,
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Generates 8-byte-aligned traffic over a small (16 KiB) window to force
+/// aliasing, eviction and MSHR merging. Shrinks by demoting every op to a
+/// plain `Load`, collapsing addresses toward zero, and zeroing store data.
+struct MemOpGen;
 
-    #[test]
-    fn l1_l2_stack_is_read_your_writes(ops in ops()) {
+impl Gen for MemOpGen {
+    type Value = MemOp;
+
+    fn generate(&self, rng: &mut SimRng) -> MemOp {
+        let a = rng.below(2048) * 8;
+        match rng.below(4) {
+            0 => MemOp::Load(a),
+            1 => MemOp::Store(a, rng.next_u64()),
+            2 => MemOp::VolatileLoad(a),
+            _ => MemOp::Prefetch(a),
+        }
+    }
+
+    fn shrink(&self, op: &MemOp) -> Vec<MemOp> {
+        let mut out = Vec::new();
+        if !matches!(op, MemOp::Load(_)) {
+            out.push(MemOp::Load(op.addr()));
+        }
+        // Keep candidates aligned the way generation aligns them.
+        for a in gen::shrink_u64(op.addr() / 8).into_iter().take(3) {
+            out.push(match *op {
+                MemOp::Load(_) => MemOp::Load(a * 8),
+                MemOp::Store(_, v) => MemOp::Store(a * 8, v),
+                MemOp::VolatileLoad(_) => MemOp::VolatileLoad(a * 8),
+                MemOp::Prefetch(_) => MemOp::Prefetch(a * 8),
+            });
+        }
+        if let MemOp::Store(a, v) = *op {
+            out.extend(gen::shrink_u64(v).into_iter().take(2).map(|v| MemOp::Store(a, v)));
+        }
+        out
+    }
+}
+
+#[test]
+fn l1_l2_stack_is_read_your_writes() {
+    // Full-stack runs are slow; 32 cases still exercise every structural
+    // corner thanks to the tiny L1.
+    let ops_gen = gen::vec_of(MemOpGen, 0, 150);
+    let cfg = Config::new("l1_l2_stack_is_read_your_writes").with_cases(32);
+    check(&cfg, &ops_gen, |ops| {
         // Tiny L1 to maximize evictions.
         let mut l1 = L1Cache::new(L1Config {
             size_bytes: 512,
             ways: 2,
             ..L1Config::default()
         });
-        let mut l2 = SharedL2::new(L2Config {
-            size_bytes: 2048,
-            ..L2Config::default()
-        }, DramConfig { latency: 20, ..DramConfig::default() });
+        let mut l2 = SharedL2::new(
+            L2Config {
+                size_bytes: 2048,
+                ..L2Config::default()
+            },
+            DramConfig {
+                latency: 20,
+                ..DramConfig::default()
+            },
+        );
         let mut mem = PhysMem::new();
         let mut model: HashMap<u64, u64> = HashMap::new();
         let mut now = Cycle::ZERO;
         let mut expecting: HashMap<u64, u64> = HashMap::new(); // req id -> value
 
-        let pump = |l1: &mut L1Cache, l2: &mut SharedL2, mem: &mut PhysMem,
-                        now: &mut Cycle, expecting: &mut HashMap<u64, u64>, cycles: u64| {
+        let pump = |l1: &mut L1Cache,
+                    l2: &mut SharedL2,
+                    mem: &mut PhysMem,
+                    now: &mut Cycle,
+                    expecting: &mut HashMap<u64, u64>,
+                    cycles: u64| {
             for _ in 0..cycles {
                 while let Some(req) = l1.pop_outgoing() {
                     l2.accept(*now, req);
@@ -75,7 +122,7 @@ proptest! {
         for op in ops {
             let id = next_id;
             next_id += 1;
-            let (addr, core_op) = match op {
+            let (addr, core_op) = match *op {
                 MemOp::Load(a) => (a, CoreOp::Load { size: 8 }),
                 MemOp::VolatileLoad(a) => (a, CoreOp::LoadVolatile { size: 8 }),
                 MemOp::Store(a, v) => (a, CoreOp::Store { size: 8, data: v }),
@@ -90,11 +137,11 @@ proptest! {
                     Err(_) => {
                         pump(&mut l1, &mut l2, &mut mem, &mut now, &mut expecting, 5);
                         tries += 1;
-                        prop_assert!(tries < 10_000, "L1 wedged");
+                        tk_assert!(tries < 10_000, "L1 wedged");
                     }
                 }
             }
-            match op {
+            match *op {
                 MemOp::Store(a, v) => {
                     model.insert(a, v);
                 }
@@ -106,7 +153,7 @@ proptest! {
                     while expecting.contains_key(&id) {
                         pump(&mut l1, &mut l2, &mut mem, &mut now, &mut expecting, 5);
                         waited += 1;
-                        prop_assert!(waited < 10_000, "load never completed");
+                        tk_assert!(waited < 10_000, "load never completed");
                     }
                 }
                 MemOp::Prefetch(_) => {}
@@ -114,8 +161,9 @@ proptest! {
         }
         // Drain everything.
         pump(&mut l1, &mut l2, &mut mem, &mut now, &mut expecting, 2000);
-        prop_assert!(expecting.is_empty(), "some loads never completed");
-        prop_assert!(l1.is_idle(), "L1 left with in-flight state");
-        prop_assert!(l2.is_idle(), "L2 left with in-flight state");
-    }
+        tk_assert!(expecting.is_empty(), "some loads never completed");
+        tk_assert!(l1.is_idle(), "L1 left with in-flight state");
+        tk_assert!(l2.is_idle(), "L2 left with in-flight state");
+        Ok(())
+    });
 }

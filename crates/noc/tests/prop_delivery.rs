@@ -7,32 +7,76 @@
 
 use maple_noc::{Coord, Mesh, MeshConfig};
 use maple_sim::Cycle;
-use proptest::prelude::*;
+use maple_testkit::{check, gen, tk_assert, tk_assert_eq, Config, Gen, SimRng};
 
 #[derive(Debug, Clone)]
 struct Traffic {
     width: u8,
     height: u8,
-    // (src, dst, flits) with coordinates reduced modulo mesh dims.
+    /// (sx, sy, dx, dy, flits), coordinates already in range.
     packets: Vec<(u8, u8, u8, u8, u8)>,
 }
 
-fn traffic_strategy() -> impl Strategy<Value = Traffic> {
-    (1u8..5, 1u8..5).prop_flat_map(|(w, h)| {
-        let pkt = (0..w, 0..h, 0..w, 0..h, 1u8..9);
-        proptest::collection::vec(pkt, 0..80).prop_map(move |packets| Traffic {
-            width: w,
-            height: h,
+/// Generates a mesh up to 4×4 with up to 80 random packets. Shrinks by
+/// removing packet chunks (reusing the vector shrinker's structural
+/// candidates) and by reducing flit counts toward single-flit packets;
+/// mesh dimensions stay fixed so every packet remains in range.
+struct TrafficGen;
+
+impl Gen for TrafficGen {
+    type Value = Traffic;
+
+    fn generate(&self, rng: &mut SimRng) -> Traffic {
+        let width = 1 + rng.below(4) as u8;
+        let height = 1 + rng.below(4) as u8;
+        let n = rng.below(80) as usize;
+        let packets = (0..n)
+            .map(|_| {
+                (
+                    rng.below(u64::from(width)) as u8,
+                    rng.below(u64::from(height)) as u8,
+                    rng.below(u64::from(width)) as u8,
+                    rng.below(u64::from(height)) as u8,
+                    1 + rng.below(8) as u8,
+                )
+            })
+            .collect();
+        Traffic {
+            width,
+            height,
             packets,
-        })
-    })
+        }
+    }
+
+    fn shrink(&self, t: &Traffic) -> Vec<Traffic> {
+        let mut out = Vec::new();
+        // Structural candidates (chunk removal) come from a VecGen whose
+        // element never shrinks; its generate is never called here.
+        let structural = gen::vec_of(gen::just((0u8, 0u8, 0u8, 0u8, 1u8)), 0, 80);
+        for packets in structural.shrink(&t.packets) {
+            out.push(Traffic {
+                packets,
+                ..t.clone()
+            });
+        }
+        for (i, p) in t.packets.iter().enumerate() {
+            if p.4 > 1 {
+                let mut packets = t.packets.clone();
+                packets[i].4 = 1;
+                out.push(Traffic {
+                    packets,
+                    ..t.clone()
+                });
+            }
+        }
+        out
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_packet_delivered_exactly_once(t in traffic_strategy()) {
+#[test]
+fn every_packet_delivered_exactly_once() {
+    let cfg = Config::new("every_packet_delivered_exactly_once").with_cases(64);
+    check(&cfg, &TrafficGen, |t| {
         let mut mesh: Mesh<usize> = Mesh::new(MeshConfig::new(t.width, t.height));
         let mut now = Cycle(0);
         let mut expected_at: Vec<Coord> = Vec::new();
@@ -48,7 +92,7 @@ proptest! {
                         mesh.tick(now);
                         now += 1;
                         tries += 1;
-                        prop_assert!(tries < 10_000, "injection starved: deadlock?");
+                        tk_assert!(tries < 10_000, "injection starved: deadlock?");
                     }
                 }
             }
@@ -63,7 +107,7 @@ proptest! {
                 for x in 0..t.width {
                     let here = Coord::new(x, y);
                     for id in mesh.take_delivered(here) {
-                        prop_assert_eq!(expected_at[id], here, "wrong destination");
+                        tk_assert_eq!(expected_at[id], here, "wrong destination");
                         seen[id] += 1;
                     }
                 }
@@ -73,33 +117,50 @@ proptest! {
                 break;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1),
-            "not all packets delivered exactly once: {:?}", seen);
-        prop_assert!(mesh.is_quiescent());
-    }
+        tk_assert!(
+            seen.iter().all(|&c| c == 1),
+            "not all packets delivered exactly once: {seen:?}"
+        );
+        tk_assert!(mesh.is_quiescent());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn latency_lower_bound_is_hop_count(
-        (w, h) in (2u8..6, 2u8..6),
-        sx in 0u8..6, sy in 0u8..6, dx in 0u8..6, dy in 0u8..6,
-    ) {
-        let s = Coord::new(sx % w, sy % h);
-        let d = Coord::new(dx % w, dy % h);
-        let mut mesh: Mesh<u8> = Mesh::new(MeshConfig::new(w, h));
-        mesh.inject(Cycle(0), s, d, 1, 0).unwrap();
-        let mut now = Cycle(0);
-        let mut arrived = None;
-        for _ in 0..1000 {
-            mesh.tick(now);
-            if !mesh.take_delivered(d).is_empty() {
-                arrived = Some(now);
-                break;
+#[test]
+fn latency_lower_bound_is_hop_count() {
+    let inputs = (
+        gen::u8_in(2..6),
+        gen::u8_in(2..6),
+        gen::u8_in(0..6),
+        gen::u8_in(0..6),
+        gen::u8_in(0..6),
+        gen::u8_in(0..6),
+    );
+    check(
+        &Config::new("latency_lower_bound_is_hop_count"),
+        &inputs,
+        |&(w, h, sx, sy, dx, dy)| {
+            let s = Coord::new(sx % w, sy % h);
+            let d = Coord::new(dx % w, dy % h);
+            let mut mesh: Mesh<u8> = Mesh::new(MeshConfig::new(w, h));
+            mesh.inject(Cycle(0), s, d, 1, 0).unwrap();
+            let mut now = Cycle(0);
+            let mut arrived = None;
+            for _ in 0..1000 {
+                mesh.tick(now);
+                if !mesh.take_delivered(d).is_empty() {
+                    arrived = Some(now);
+                    break;
+                }
+                now += 1;
             }
-            now += 1;
-        }
-        let arrived = arrived.expect("must deliver");
-        // An uncontended packet takes exactly hops cycles (one per hop),
-        // ejecting on the cycle it becomes ready at the destination.
-        prop_assert_eq!(arrived.0, s.hops_to(d));
-    }
+            let Some(arrived) = arrived else {
+                return Err("must deliver".to_string());
+            };
+            // An uncontended packet takes exactly hops cycles (one per hop),
+            // ejecting on the cycle it becomes ready at the destination.
+            tk_assert_eq!(arrived.0, s.hops_to(d));
+            Ok(())
+        },
+    );
 }

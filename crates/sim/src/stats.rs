@@ -5,8 +5,6 @@
 //! of the core counters the FPGA evaluation reads (load counts in Figure 10,
 //! average load latency in Figure 11).
 
-use serde::{Deserialize, Serialize};
-
 /// A monotonically increasing event counter.
 ///
 /// # Example
@@ -19,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// loads.add(2);
 /// assert_eq!(loads.get(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -74,7 +72,7 @@ impl std::fmt::Display for Counter {
 /// assert_eq!(h.mean(), 151.0);
 /// assert_eq!(h.max(), Some(300));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

@@ -269,6 +269,11 @@ impl System {
     /// Panics if DROPLET is not enabled in the configuration or the
     /// arrays are not physically contiguous (eager allocations are).
     pub fn droplet_watch(&mut self, b: VAddr, b_len: u64, b_elem: u8, a: VAddr, a_elem: u8) {
+        if b_len == 0 {
+            // Empty index array: nothing to watch (and no last byte to
+            // check contiguity on).
+            return;
+        }
         let b_start = self.host_paddr(b);
         // Eager allocations are physically contiguous (bump allocator);
         // verify on the last page to catch misuse.

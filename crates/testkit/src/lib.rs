@@ -1,0 +1,140 @@
+//! A dependency-free property-testing mini-framework for the MAPLE
+//! workspace.
+//!
+//! The paper's correctness story rests on formal verification of the RTL;
+//! the model-level analogue in this repository is randomized differential
+//! testing of every component against a host reference. That testing has
+//! to run *hermetically* — the build environment has no network, so
+//! `proptest` and `rand` are unavailable — which is what this crate
+//! provides, built on nothing but `std` and [`maple_sim::rng::SimRng`]
+//! (the workspace's in-tree splitmix64/xoshiro256** PRNG).
+//!
+//! Three pieces:
+//!
+//! - [`gen`]: the [`Gen`] trait (generate + shrink) and combinators —
+//!   integer ranges, booleans, constant choices, vectors, tuples,
+//!   alternation ([`gen::one_of`]) and mapping.
+//! - [`runner`]: [`check`], a seeded runner that executes a property over
+//!   N generated cases, and on failure **greedily shrinks** the input —
+//!   repeatedly taking the first shrink candidate that still fails —
+//!   before reporting the minimal counterexample together with the seed
+//!   that reproduces it.
+//! - assertion macros [`tk_assert!`], [`tk_assert_eq!`], [`tk_assert_ne!`]
+//!   that make a property return an error message instead of unwinding
+//!   (plain `assert!` also works: the runner catches panics).
+//!
+//! # Example
+//!
+//! ```
+//! use maple_testkit::{check, gen, Config, tk_assert};
+//!
+//! // "reversing twice is the identity"
+//! let vecs = gen::vec_of(gen::u64_in(0..100), 0, 16);
+//! check(&Config::new("reverse_reverse_id"), &vecs, |v| {
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     tk_assert!(w == *v, "double reverse changed {v:?} into {w:?}");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! # Reproducing a failure
+//!
+//! On failure the runner panics with a report that includes the base seed:
+//!
+//! ```text
+//! [maple-testkit] property 'queue_matches_reference_model' falsified
+//!   case 17/256, base seed 0x3a94f2c11d08b77d
+//!   reproduce with: MAPLE_TESTKIT_SEED=0x3a94f2c11d08b77d cargo test ...
+//! ```
+//!
+//! Setting `MAPLE_TESTKIT_SEED` replays the identical case sequence;
+//! `MAPLE_TESTKIT_CASES` overrides the case count (e.g. a long overnight
+//! run with `MAPLE_TESTKIT_CASES=100000`).
+
+pub mod gen;
+pub mod runner;
+
+pub use gen::Gen;
+pub use maple_sim::rng::SimRng;
+pub use runner::{check, Config};
+
+/// Asserts a condition inside a property; on failure returns an error
+/// from the enclosing property function.
+///
+/// With a single argument, the stringified condition becomes the message;
+/// extra arguments are a `format!` message.
+#[macro_export]
+macro_rules! tk_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property; on failure returns
+/// an error carrying both values.
+#[macro_export]
+macro_rules! tk_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($arg)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Asserts two expressions differ inside a property.
+#[macro_export]
+macro_rules! tk_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {} ({}:{})\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($arg:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!("{}\n  both: {:?}", format!($($arg)+), l));
+        }
+    }};
+}

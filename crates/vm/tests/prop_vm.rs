@@ -2,10 +2,10 @@
 //! TLBs against the table they cache (shootdown coherence).
 
 use maple_mem::phys::{PAddr, PhysMem, PAGE_SIZE};
+use maple_testkit::{check, gen, tk_assert, tk_assert_eq, Config, Gen, SimRng};
 use maple_vm::page_table::{FrameAllocator, PageFlags, PageTable};
 use maple_vm::tlb::Tlb;
 use maple_vm::{VAddr, VirtPage};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy)]
@@ -18,25 +18,63 @@ enum VmOp {
     Translate(u64, u64),
 }
 
-fn vm_ops() -> impl Strategy<Value = Vec<VmOp>> {
-    let vpn = 0u64..64;
-    let op = prop_oneof![
-        vpn.clone().prop_map(VmOp::Map),
-        vpn.clone().prop_map(VmOp::Unmap),
-        (vpn, 0u64..PAGE_SIZE).prop_map(|(p, o)| VmOp::Translate(p, o)),
-    ];
-    proptest::collection::vec(op, 0..120)
+/// Generates VM operations over a 64-page window; shrinks page numbers
+/// and offsets toward zero and demotes maps/unmaps to translations (the
+/// read-only op).
+struct VmOpGen;
+
+impl Gen for VmOpGen {
+    type Value = VmOp;
+
+    fn generate(&self, rng: &mut SimRng) -> VmOp {
+        let vpn = rng.below(64);
+        match rng.below(3) {
+            0 => VmOp::Map(vpn),
+            1 => VmOp::Unmap(vpn),
+            _ => VmOp::Translate(vpn, rng.below(PAGE_SIZE)),
+        }
+    }
+
+    fn shrink(&self, op: &VmOp) -> Vec<VmOp> {
+        let mut out = Vec::new();
+        match *op {
+            VmOp::Map(vpn) => {
+                out.push(VmOp::Translate(vpn, 0));
+                out.extend(gen::shrink_u64(vpn).into_iter().take(3).map(VmOp::Map));
+            }
+            VmOp::Unmap(vpn) => {
+                out.push(VmOp::Translate(vpn, 0));
+                out.extend(gen::shrink_u64(vpn).into_iter().take(3).map(VmOp::Unmap));
+            }
+            VmOp::Translate(vpn, off) => {
+                out.extend(
+                    gen::shrink_u64(vpn)
+                        .into_iter()
+                        .take(2)
+                        .map(|v| VmOp::Translate(v, off)),
+                );
+                out.extend(
+                    gen::shrink_u64(off)
+                        .into_iter()
+                        .take(2)
+                        .map(|o| VmOp::Translate(vpn, o)),
+                );
+            }
+        }
+        out
+    }
 }
 
-proptest! {
-    #[test]
-    fn page_table_matches_map_model(ops in vm_ops()) {
+#[test]
+fn page_table_matches_map_model() {
+    let ops_gen = gen::vec_of(VmOpGen, 0, 120);
+    check(&Config::new("page_table_matches_map_model"), &ops_gen, |ops| {
         let mut mem = PhysMem::new();
         let mut frames = FrameAllocator::new(PAddr(0x100_0000), 32 << 20);
         let mut pt = PageTable::new(&mut mem, &mut frames);
         let mut model: HashMap<u64, u64> = HashMap::new(); // vpn -> frame base
         for op in ops {
-            match op {
+            match *op {
                 VmOp::Map(vpn) => {
                     let frame = frames.alloc(&mut mem);
                     pt.map(&mut mem, &mut frames, VAddr(vpn * PAGE_SIZE), frame, PageFlags::rw());
@@ -44,52 +82,59 @@ proptest! {
                 }
                 VmOp::Unmap(vpn) => {
                     let existed = pt.unmap(&mut mem, VAddr(vpn * PAGE_SIZE));
-                    prop_assert_eq!(existed, model.remove(&vpn).is_some());
+                    tk_assert_eq!(existed, model.remove(&vpn).is_some());
                 }
                 VmOp::Translate(vpn, off) => {
                     let got = pt.translate(&mem, VAddr(vpn * PAGE_SIZE + off));
                     match model.get(&vpn) {
                         Some(frame) => {
-                            prop_assert_eq!(got.unwrap().paddr, PAddr(frame + off));
+                            tk_assert_eq!(got.unwrap().paddr, PAddr(frame + off));
                         }
-                        None => prop_assert!(got.is_err()),
+                        None => tk_assert!(got.is_err()),
                     }
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn tlb_never_serves_stale_translations(
-        ops in proptest::collection::vec((0u64..32, any::<bool>()), 0..200)
-    ) {
-        // Interleave inserts and shootdowns; a lookup must only ever
-        // return what the "page table" (model) currently says.
-        let mut tlb = Tlb::new(16);
-        let mut table: HashMap<u64, u64> = HashMap::new();
-        let mut next_frame = 0x1000u64;
-        for (vpn, remap) in ops {
-            if remap {
-                // Kernel remaps the page: shootdown + new translation.
-                tlb.shootdown(VirtPage(vpn));
-                next_frame += PAGE_SIZE;
-                table.insert(vpn, next_frame);
-            }
-            // Hardware path: TLB hit must agree with the table; on a
-            // miss, walk and refill.
-            match tlb.lookup(VirtPage(vpn)) {
-                Some(e) => {
-                    let expect = table.get(&vpn).copied();
-                    prop_assert_eq!(Some(e.frame.0), expect, "stale TLB entry for vpn {}", vpn);
+#[test]
+fn tlb_never_serves_stale_translations() {
+    let ops_gen = gen::vec_of((gen::u64_in(0..32), gen::bools()), 0, 200);
+    check(
+        &Config::new("tlb_never_serves_stale_translations"),
+        &ops_gen,
+        |ops| {
+            // Interleave inserts and shootdowns; a lookup must only ever
+            // return what the "page table" (model) currently says.
+            let mut tlb = Tlb::new(16);
+            let mut table: HashMap<u64, u64> = HashMap::new();
+            let mut next_frame = 0x1000u64;
+            for &(vpn, remap) in ops {
+                if remap {
+                    // Kernel remaps the page: shootdown + new translation.
+                    tlb.shootdown(VirtPage(vpn));
+                    next_frame += PAGE_SIZE;
+                    table.insert(vpn, next_frame);
                 }
-                None => {
-                    if let Some(&f) = table.get(&vpn) {
-                        tlb.insert(VirtPage(vpn), PAddr(f), PageFlags::rw());
+                // Hardware path: TLB hit must agree with the table; on a
+                // miss, walk and refill.
+                match tlb.lookup(VirtPage(vpn)) {
+                    Some(e) => {
+                        let expect = table.get(&vpn).copied();
+                        tk_assert_eq!(Some(e.frame.0), expect, "stale TLB entry for vpn {vpn}");
+                    }
+                    None => {
+                        if let Some(&f) = table.get(&vpn) {
+                            tlb.insert(VirtPage(vpn), PAddr(f), PageFlags::rw());
+                        }
                     }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -78,6 +78,16 @@ pub struct RunStats {
     /// Mean sampled occupancy of engine 0's queue 0 — the Section 4.4
     /// runahead observable.
     pub queue0_occupancy_mean: f64,
+    /// Total entries enqueued across every engine queue (push + fill).
+    pub queues_produced: u64,
+    /// Total entries dequeued across every engine queue.
+    pub queues_consumed: u64,
+    /// Whether every engine queue was empty when the run finished.
+    pub queues_drained: bool,
+    /// Mesh packets injected.
+    pub noc_injected: u64,
+    /// Mesh packets delivered.
+    pub noc_delivered: u64,
 }
 
 impl RunStats {
@@ -131,6 +141,21 @@ pub fn finish(
         })
         .collect();
     let e = sys.engine(0).stats();
+    // Conservation counters over every engine queue: what went in, what
+    // came out, and whether anything was stranded at the end of the run.
+    let mut queues_produced = 0u64;
+    let mut queues_consumed = 0u64;
+    let mut queues_drained = true;
+    for ei in 0..sys.config().maples {
+        let engine = sys.engine(ei);
+        for q in 0..engine.config().queues as u8 {
+            let queue = engine.queue(q);
+            queues_produced += queue.produced.get();
+            queues_consumed += queue.consumed.get();
+            queues_drained &= queue.is_empty();
+        }
+    }
+    let mesh = sys.mesh_stats();
     RunStats {
         cycles: outcome.cycle().0,
         loads: sys.total_loads(),
@@ -144,6 +169,11 @@ pub fn finish(
             sys.engine(0).tlb_misses(),
         ),
         queue0_occupancy_mean: sys.queue_occupancy(0, 0).mean(),
+        queues_produced,
+        queues_consumed,
+        queues_drained,
+        noc_injected: mesh.injected.get(),
+        noc_delivered: mesh.delivered.get(),
     }
 }
 
@@ -198,6 +228,11 @@ mod tests {
             cores: Vec::new(),
             engine: (0, 0, 0, 0),
             queue0_occupancy_mean: 0.0,
+            queues_produced: 0,
+            queues_consumed: 0,
+            queues_drained: true,
+            noc_injected: 0,
+            noc_delivered: 0,
         };
         let fast = RunStats {
             cycles: 500,

@@ -8,6 +8,7 @@ pub mod data;
 #[cfg(test)]
 mod edge_tests;
 pub mod harness;
+pub mod oracle;
 pub mod sdhp;
 pub mod spmm;
 pub mod spmv;

@@ -1,0 +1,198 @@
+//! Differential oracle over the kernel zoo: every latency-tolerance
+//! variant must compute bit-identical results to the scalar host
+//! reference, and every run must satisfy hardware conservation laws the
+//! paper establishes with RTL formal verification — here checked at the
+//! model level on randomized instances.
+//!
+//! The oracle is kernel-agnostic: callers hand it a closure that runs one
+//! `(variant, threads)` pair on a fixed problem instance (see
+//! `tests/diff_oracle.rs` for the randomized drivers).
+
+use crate::harness::{RunStats, Variant};
+
+/// The variant/thread-count grid the oracle exercises on every instance.
+pub const ORACLE_VARIANTS: [(Variant, usize); 5] = [
+    (Variant::Doall, 2),
+    (Variant::SwDecoupled, 2),
+    (Variant::MapleDecoupled, 2),
+    (Variant::Desc, 2),
+    (Variant::Droplet, 2),
+];
+
+/// Lenient sanity bound: no variant may take more than this many times
+/// the do-all cycles on the same instance (decoupling has per-run setup
+/// overhead, so tiny instances legitimately run slower than do-all — but
+/// never by orders of magnitude).
+pub const MAX_SLOWDOWN: u64 = 8;
+
+/// Fixed cycle allowance added on top of [`MAX_SLOWDOWN`], covering
+/// instance-independent startup cost (queue configuration, pairing,
+/// engine mapping) that dominates on near-empty instances.
+pub const SLOWDOWN_SLACK: u64 = 500_000;
+
+/// Per-run invariants: the result matched the host reference and the
+/// hardware conservation laws held.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_run(label: &str, s: &RunStats) -> Result<(), String> {
+    if !s.verified {
+        return Err(format!("{label}: result diverged from host reference (or run did not finish in {} cycles)", s.cycles));
+    }
+    // Queue conservation: every entry that went into an engine queue must
+    // have come out — a drained queue with produced != consumed means an
+    // enqueue was lost or a dequeue was duplicated.
+    if s.queues_drained && s.queues_produced != s.queues_consumed {
+        return Err(format!(
+            "{label}: queue conservation violated: produced {} != consumed {} with all queues drained",
+            s.queues_produced, s.queues_consumed
+        ));
+    }
+    if !s.queues_drained {
+        return Err(format!(
+            "{label}: engine queues not drained at end of run ({} produced, {} consumed)",
+            s.queues_produced, s.queues_consumed
+        ));
+    }
+    // NoC flit accounting: the mesh cannot deliver packets it never saw.
+    if s.noc_delivered > s.noc_injected {
+        return Err(format!(
+            "{label}: NoC delivered {} packets but only {} were injected",
+            s.noc_delivered, s.noc_injected
+        ));
+    }
+    Ok(())
+}
+
+/// Cross-variant invariant: `other` may be slower than do-all on the same
+/// instance, but only within [`MAX_SLOWDOWN`] (plus fixed slack).
+///
+/// # Errors
+///
+/// Returns a description of the violation.
+pub fn check_cross(doall: &RunStats, label: &str, other: &RunStats) -> Result<(), String> {
+    let bound = doall
+        .cycles
+        .saturating_mul(MAX_SLOWDOWN)
+        .saturating_add(SLOWDOWN_SLACK);
+    if other.cycles > bound {
+        return Err(format!(
+            "{label}: {} cycles exceeds sanity bound {} ({}x do-all's {} cycles + slack)",
+            other.cycles, bound, MAX_SLOWDOWN, doall.cycles
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the full variant grid on one instance and checks every per-run
+/// and cross-variant invariant.
+///
+/// # Errors
+///
+/// Returns the kernel name, the offending variant and the violated
+/// invariant.
+pub fn differential_check(
+    kernel: &str,
+    run: impl Fn(Variant, usize) -> RunStats,
+) -> Result<(), String> {
+    let (doall_variant, doall_threads) = ORACLE_VARIANTS[0];
+    debug_assert!(matches!(doall_variant, Variant::Doall));
+    let doall = run(doall_variant, doall_threads);
+    check_run(&format!("{kernel}/{}", doall_variant.label()), &doall)?;
+    for &(variant, threads) in &ORACLE_VARIANTS[1..] {
+        let label = format!("{kernel}/{}", variant.label());
+        let stats = run(variant, threads);
+        check_run(&label, &stats)?;
+        check_cross(&doall, &label, &stats)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_stats() -> RunStats {
+        RunStats {
+            cycles: 1000,
+            loads: 10,
+            mean_load_latency: 5.0,
+            verified: true,
+            cores: Vec::new(),
+            engine: (0, 0, 0, 0),
+            queue0_occupancy_mean: 0.0,
+            queues_produced: 42,
+            queues_consumed: 42,
+            queues_drained: true,
+            noc_injected: 100,
+            noc_delivered: 100,
+        }
+    }
+
+    #[test]
+    fn clean_stats_pass() {
+        assert!(check_run("t", &ok_stats()).is_ok());
+    }
+
+    #[test]
+    fn unverified_run_is_flagged() {
+        let s = RunStats {
+            verified: false,
+            ..ok_stats()
+        };
+        assert!(check_run("t", &s).unwrap_err().contains("diverged"));
+    }
+
+    #[test]
+    fn queue_conservation_violation_is_flagged() {
+        let s = RunStats {
+            queues_consumed: 41,
+            ..ok_stats()
+        };
+        assert!(check_run("t", &s).unwrap_err().contains("conservation"));
+    }
+
+    #[test]
+    fn stranded_queue_entries_are_flagged() {
+        let s = RunStats {
+            queues_drained: false,
+            ..ok_stats()
+        };
+        assert!(check_run("t", &s).unwrap_err().contains("not drained"));
+    }
+
+    #[test]
+    fn noc_overdelivery_is_flagged() {
+        let s = RunStats {
+            noc_delivered: 101,
+            ..ok_stats()
+        };
+        assert!(check_run("t", &s).unwrap_err().contains("NoC"));
+    }
+
+    #[test]
+    fn cross_variant_bound_is_lenient_but_finite() {
+        let doall = ok_stats();
+        let near = RunStats {
+            cycles: 1000 * MAX_SLOWDOWN,
+            ..ok_stats()
+        };
+        assert!(check_cross(&doall, "t", &near).is_ok());
+        let absurd = RunStats {
+            cycles: 1000 * MAX_SLOWDOWN + SLOWDOWN_SLACK + 1,
+            ..ok_stats()
+        };
+        assert!(check_cross(&doall, "t", &absurd).unwrap_err().contains("sanity bound"));
+    }
+
+    #[test]
+    fn grid_starts_with_doall() {
+        assert!(matches!(ORACLE_VARIANTS[0].0, Variant::Doall));
+        // One entry per oracle variant, no duplicates.
+        let mut labels: Vec<&str> = ORACLE_VARIANTS.iter().map(|(v, _)| v.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), ORACLE_VARIANTS.len());
+    }
+}

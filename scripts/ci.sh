@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Hermetic CI gate for the MAPLE workspace.
+#
+# Everything here runs with --offline: the workspace has zero crates.io
+# dependencies by design (all deps are in-tree path crates), so a fresh
+# checkout builds and tests with no network and no pre-populated cargo
+# registry. If a dependency on an external crate ever sneaks in, the
+# resolution step below is the first thing that fails.
+#
+# Usage: scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> dependency audit: workspace must resolve offline with zero crates.io deps"
+# cargo tree prints only workspace-local path crates when the workspace is
+# hermetic; any registry dependency shows up with a version source.
+if cargo tree --offline --workspace --edges normal,build,dev 2>/dev/null \
+    | grep -E '\(registry|crates\.io' ; then
+    echo "ERROR: external (crates.io) dependency found in the tree above" >&2
+    exit 1
+fi
+
+echo "==> tier-1 gate: release build"
+cargo build --offline --workspace --release
+
+echo "==> tier-1 gate: tests"
+cargo test --offline --workspace -q
+
+echo "==> lint: clippy, warnings are errors"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> CI gate passed"
