@@ -26,6 +26,7 @@ use maple_mem::l2::OutboundResp;
 use maple_mem::msg::{MemReq, MemReqKind, MemResp};
 use maple_mem::phys::{PAddr, PhysMem, LINE_SIZE};
 use maple_noc::Coord;
+use maple_sim::fault::{FaultSchedule, WatchdogConfig};
 use maple_sim::link::DelayQueue;
 use maple_sim::stats::Counter;
 use maple_sim::Cycle;
@@ -113,6 +114,24 @@ pub struct EngineStats {
     /// Memory responses discarded because their transaction was dropped
     /// by a `RESET` while the reply crossed the NoC.
     pub stale_responses: Counter,
+    /// Responses/acks lost at the source by the fault plane's MMIO
+    /// ack-loss schedule.
+    pub acks_dropped: Counter,
+    /// Watchdog expiries on the engine's own memory fetches.
+    pub fetch_timeouts: Counter,
+    /// Memory fetches re-issued by the watchdog after a timeout.
+    pub fetch_retries: Counter,
+    /// Fetches abandoned after retries were exhausted (or that were not
+    /// retryable, e.g. atomics); each one poisons the engine.
+    pub poisoned_fetches: Counter,
+    /// Completed responses replayed from the dedup cache when a core's
+    /// watchdog re-sent an already-answered request.
+    pub replayed_responses: Counter,
+    /// Re-sent requests dropped because the original is still in flight.
+    pub duplicate_requests: Counter,
+    /// Requests rejected with an error response (e.g. a queue index
+    /// outside the configured range).
+    pub bad_requests: Counter,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -151,6 +170,19 @@ enum FetchPurpose {
     /// A LIMA chunk of the `B` array.
     LimaChunk { seq: u64 },
 }
+
+/// Book-keeping for one outstanding engine memory fetch: what the data is
+/// for, plus everything the watchdog needs to re-issue it.
+#[derive(Debug, Clone, Copy)]
+struct InflightFetch {
+    purpose: FetchPurpose,
+    req: MemReq,
+    issued: Cycle,
+    retries: u32,
+}
+
+/// Completed-response dedup cache entries kept for replay.
+const SEEN_CAP: usize = 1024;
 
 #[derive(Debug, Clone, Copy)]
 struct LimaCmd {
@@ -208,12 +240,27 @@ pub struct Engine {
     out_resp: DelayQueue<OutboundResp>,
     out_mem: VecDeque<MemReq>,
     next_txid: u64,
-    inflight: HashMap<u64, FetchPurpose>,
+    inflight: HashMap<u64, InflightFetch>,
     lima_regs: (VAddr, VAddr, u32, u32), // staged A, B, lo, hi
     lima_cmds: VecDeque<LimaCmd>,
     lima_go_pending: VecDeque<(Coord, u64, LimaCmd)>,
     lima: Option<LimaActive>,
     stats: EngineStats,
+    /// Request dedup / response replay cache, keyed by (requester, txid):
+    /// `None` = the original request is still being processed, `Some` =
+    /// the response data, replayed when a core watchdog re-sends the
+    /// request. Survives `RESET` (like `next_txid`) so pre-reset retries
+    /// stay idempotent.
+    seen: HashMap<(Coord, u64), Option<u64>>,
+    /// FIFO eviction order of *completed* `seen` entries.
+    seen_order: VecDeque<(Coord, u64)>,
+    /// Fetch watchdog; `None` (the default) never times out.
+    watchdog: Option<WatchdogConfig>,
+    /// MMIO ack-loss schedule from the fault plane.
+    ack_fault: Option<FaultSchedule>,
+    /// Set when a fetch exhausted its retries; the driver must reset or
+    /// retire this instance.
+    poisoned: bool,
 }
 
 impl Engine {
@@ -252,6 +299,11 @@ impl Engine {
             lima_go_pending: VecDeque::new(),
             lima: None,
             stats: EngineStats::default(),
+            seen: HashMap::new(),
+            seen_order: VecDeque::new(),
+            watchdog: None,
+            ack_fault: None,
+            poisoned: false,
             cfg,
         }
     }
@@ -284,6 +336,83 @@ impl Engine {
     /// callback; also reachable via the `TLB_SHOOTDOWN` MMIO store).
     pub fn tlb_shootdown(&mut self, vpn: VirtPage) {
         self.tlb.shootdown(vpn);
+    }
+
+    /// Arms the per-fetch watchdog: an outstanding memory fetch past its
+    /// (exponentially backed-off) deadline is re-issued, and poisoned
+    /// after `max_retries` re-issues. Off by default.
+    pub fn set_watchdog(&mut self, w: WatchdogConfig) {
+        self.watchdog = Some(w);
+    }
+
+    /// Installs the fault plane's MMIO ack-loss schedule: outbound
+    /// responses/acks are dropped at the source with the scheduled rate.
+    pub fn set_ack_fault(&mut self, f: FaultSchedule) {
+        self.ack_fault = Some(f);
+    }
+
+    /// Whether a fetch exhausted its watchdog retries. A poisoned engine
+    /// keeps decoding but can no longer guarantee forward progress; the
+    /// driver should retire it.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Outstanding memory fetches (no response yet).
+    #[must_use]
+    pub fn inflight_fetches(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Produce operations buffered across all queues.
+    #[must_use]
+    pub fn pending_produces(&self) -> usize {
+        self.produce_pending.iter().map(VecDeque::len).sum()
+    }
+
+    /// Consume operations buffered across all queues.
+    #[must_use]
+    pub fn pending_consumes(&self) -> usize {
+        self.consume_pending.iter().map(VecDeque::len).sum()
+    }
+
+    /// Current occupancy of every hardware queue.
+    #[must_use]
+    pub fn queue_occupancies(&self) -> Vec<usize> {
+        (0..self.cfg.queues)
+            .map(|q| self.queues.queue(q as u8).occupancy())
+            .collect()
+    }
+
+    /// Resets all engine state (the MMIO `RESET` / driver `INIT` path).
+    ///
+    /// The MMU root, statistics and transaction-ID counter survive:
+    /// responses for dropped transactions may still be crossing the NoC
+    /// and must never alias new ones. The response-replay cache and the
+    /// fault-plane hooks survive for the same reason — a core retry of a
+    /// pre-reset transaction must stay idempotent.
+    pub fn reset(&mut self) {
+        let root = self.page_table;
+        let cfg = self.cfg;
+        let stats = std::mem::take(&mut self.stats);
+        let next_txid = self.next_txid;
+        let mut seen = std::mem::take(&mut self.seen);
+        // In-progress entries guard operations the reset just dropped;
+        // keeping them would make a core's retry of such an operation a
+        // "duplicate" forever. Completed entries stay for replay.
+        seen.retain(|_, v| v.is_some());
+        let seen_order = std::mem::take(&mut self.seen_order);
+        let watchdog = self.watchdog;
+        let ack_fault = self.ack_fault.take();
+        *self = Engine::new(cfg);
+        self.page_table = root;
+        self.stats = stats;
+        self.next_txid = next_txid;
+        self.seen = seen;
+        self.seen_order = seen_order;
+        self.watchdog = watchdog;
+        self.ack_fault = ack_fault;
     }
 
     /// Engine statistics.
@@ -335,11 +464,11 @@ impl Engine {
     /// dropped the in-flight state while replies were still crossing the
     /// NoC — are counted and discarded, as the RTL's decoder does.
     pub fn on_mem_resp(&mut self, _now: Cycle, resp: MemResp, mem: &PhysMem) {
-        let Some(purpose) = self.inflight.remove(&resp.id) else {
+        let Some(f) = self.inflight.remove(&resp.id) else {
             self.stats.stale_responses.inc();
             return;
         };
-        match purpose {
+        match f.purpose {
             FetchPurpose::QueueFill { q, slot, .. } => {
                 let _ = mem; // data travels in the response
                 self.queues.queue_mut(q).fill(slot, resp.data);
@@ -374,6 +503,24 @@ impl Engine {
     }
 
     fn respond(&mut self, now: Cycle, dst: Coord, id: u64, data: u64) {
+        // Record the completed response for replay: a core watchdog may
+        // re-send the request if this response is lost on the NoC.
+        let entry = self.seen.entry((dst, id)).or_insert(None);
+        if entry.is_none() {
+            *entry = Some(data);
+            self.seen_order.push_back((dst, id));
+            while self.seen_order.len() > SEEN_CAP {
+                if let Some(old) = self.seen_order.pop_front() {
+                    self.seen.remove(&old);
+                }
+            }
+        }
+        if let Some(f) = &mut self.ack_fault {
+            if f.strike() {
+                self.stats.acks_dropped.inc();
+                return;
+            }
+        }
         self.out_resp.send(
             now,
             self.cfg.respond_latency,
@@ -424,6 +571,7 @@ impl Engine {
 
     /// Advances the engine one cycle.
     pub fn tick(&mut self, now: Cycle, mem: &mut PhysMem) {
+        self.watchdog_stage(now);
         self.dispatch_incoming(now);
         self.produce_stage(now, mem);
         self.prefetch_stage(now, mem);
@@ -433,6 +581,28 @@ impl Engine {
 
     fn dispatch_incoming(&mut self, now: Cycle) {
         while let Some(req) = self.incoming.recv(now) {
+            // Dedup against retried requests: a core watchdog re-sends an
+            // MMIO operation (same transaction ID) when its response is
+            // lost. Completed operations replay the recorded response;
+            // still-in-flight ones drop the duplicate. MMIO operations are
+            // not idempotent (a retried CONSUME must not pop twice), so
+            // this cache is what makes core-side retry safe.
+            let key = (req.reply_to, req.id);
+            match self.seen.get(&key) {
+                Some(Some(data)) => {
+                    let data = *data;
+                    self.stats.replayed_responses.inc();
+                    self.respond(now, key.0, key.1, data);
+                    continue;
+                }
+                Some(None) => {
+                    self.stats.duplicate_requests.inc();
+                    continue;
+                }
+                None => {
+                    self.seen.insert(key, None);
+                }
+            }
             let offset = req.addr.page_offset();
             match req.kind {
                 MemReqKind::Write { data, ack, .. } => {
@@ -466,6 +636,13 @@ impl Engine {
         q: u8,
         data: u64,
     ) {
+        if usize::from(q) >= self.cfg.queues {
+            // Decoded queue index beyond the configured range: reject with
+            // an error response instead of indexing out of bounds.
+            self.stats.bad_requests.inc();
+            self.respond(now, dst, id, u64::MAX);
+            return;
+        }
         match op {
             StoreOp::Produce => {
                 self.produce_pending[usize::from(q)].push_back(PendingProduce {
@@ -561,17 +738,7 @@ impl Engine {
                 self.respond(now, dst, id, 0);
             }
             StoreOp::Reset => {
-                let root = self.page_table;
-                let cfg = self.cfg;
-                let stats = std::mem::take(&mut self.stats);
-                // Transaction IDs must keep advancing across a reset:
-                // responses for dropped transactions may still be crossing
-                // the NoC and must never alias new ones.
-                let next_txid = self.next_txid;
-                *self = Engine::new(cfg);
-                self.page_table = root;
-                self.stats = stats;
-                self.next_txid = next_txid;
+                self.reset();
                 self.respond(now, dst, id, 0);
             }
             StoreOp::Close => {
@@ -610,6 +777,11 @@ impl Engine {
     }
 
     fn handle_load(&mut self, now: Cycle, dst: Coord, id: u64, op: LoadOp, q: u8, size: u8) {
+        if usize::from(q) >= self.cfg.queues {
+            self.stats.bad_requests.inc();
+            self.respond(now, dst, id, u64::MAX);
+            return;
+        }
         match op {
             LoadOp::Consume => {
                 self.consume_pending[usize::from(q)].push_back(PendingConsume {
@@ -655,12 +827,10 @@ impl Engine {
     }
 
     /// Issues a non-coherent (or coherent) word fetch feeding queue `q`.
-    fn issue_queue_fetch(&mut self, q: u8, slot: Slot, paddr: PAddr, coherent: bool) {
+    fn issue_queue_fetch(&mut self, now: Cycle, q: u8, slot: Slot, paddr: PAddr, coherent: bool) {
         let size = self.queues.queue(q).entry_bytes();
         let id = self.fresh_txid();
-        self.inflight.insert(id, FetchPurpose::QueueFill { q, slot });
-        self.stats.mem_fetches.inc();
-        self.out_mem.push_back(MemReq {
+        let req = MemReq {
             id,
             addr: paddr,
             kind: if coherent {
@@ -669,7 +839,65 @@ impl Engine {
                 MemReqKind::ReadWordDram { size }
             },
             reply_to: Coord::default(),
-        });
+        };
+        self.track_fetch(now, FetchPurpose::QueueFill { q, slot }, req);
+    }
+
+    /// Records an outstanding fetch (for the watchdog) and issues it.
+    fn track_fetch(&mut self, now: Cycle, purpose: FetchPurpose, req: MemReq) {
+        self.inflight.insert(
+            req.id,
+            InflightFetch {
+                purpose,
+                req,
+                issued: now,
+                retries: 0,
+            },
+        );
+        self.stats.mem_fetches.inc();
+        self.out_mem.push_back(req);
+    }
+
+    /// Re-issues overdue fetches with exponential backoff; a fetch that
+    /// exhausts its retries (or cannot be retried safely, e.g. an atomic
+    /// that would double-apply) poisons the engine.
+    fn watchdog_stage(&mut self, now: Cycle) {
+        let Some(w) = self.watchdog else {
+            return;
+        };
+        if self.inflight.is_empty() {
+            return;
+        }
+        let mut overdue: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(_, f)| now >= w.deadline(f.issued, f.retries))
+            .map(|(&id, _)| id)
+            .collect();
+        if overdue.is_empty() {
+            return;
+        }
+        // HashMap iteration order is nondeterministic; sorted ids keep
+        // seed replay exact.
+        overdue.sort_unstable();
+        for id in overdue {
+            self.stats.fetch_timeouts.inc();
+            let Some(f) = self.inflight.get_mut(&id) else {
+                continue;
+            };
+            let retryable = !matches!(f.req.kind, MemReqKind::Amo { .. });
+            if !retryable || f.retries >= w.max_retries {
+                self.inflight.remove(&id);
+                self.stats.poisoned_fetches.inc();
+                self.poisoned = true;
+            } else {
+                f.retries += 1;
+                f.issued = now;
+                let req = f.req;
+                self.stats.fetch_retries.inc();
+                self.out_mem.push_back(req);
+            }
+        }
     }
 
     fn produce_stage(&mut self, now: Cycle, mem: &mut PhysMem) {
@@ -700,7 +928,7 @@ impl Engine {
                         .queue_mut(q)
                         .reserve()
                         .expect("checked not full");
-                    self.issue_queue_fetch(q, slot, paddr, coherent);
+                    self.issue_queue_fetch(now, q, slot, paddr, coherent);
                     self.produce_pending[qi].pop_front();
                     // Store acked as soon as the produce is accepted
                     // (paper step 4): the Access thread moves on while the
@@ -718,10 +946,7 @@ impl Engine {
                         .expect("checked not full");
                     let size = self.queues.queue(q).entry_bytes();
                     let txid = self.fresh_txid();
-                    self.inflight
-                        .insert(txid, FetchPurpose::QueueFill { q, slot });
-                    self.stats.mem_fetches.inc();
-                    self.out_mem.push_back(MemReq {
+                    let req = MemReq {
                         id: txid,
                         addr: paddr,
                         kind: MemReqKind::Amo {
@@ -730,7 +955,8 @@ impl Engine {
                             operand: self.amo_operand[qi],
                         },
                         reply_to: Coord::default(),
-                    });
+                    };
+                    self.track_fetch(now, FetchPurpose::QueueFill { q, slot }, req);
                     self.produce_pending[qi].pop_front();
                     self.respond(now, head.ack_dst, head.ack_id, 0);
                 }
@@ -823,14 +1049,13 @@ impl Engine {
             let seq = active.next_chunk_seq;
             active.next_chunk_seq += 1;
             let id = self.fresh_txid();
-            self.inflight.insert(id, FetchPurpose::LimaChunk { seq });
-            self.stats.mem_fetches.inc();
-            self.out_mem.push_back(MemReq {
+            let req = MemReq {
                 id,
                 addr: paddr.line_base(),
                 kind: MemReqKind::ReadLineDram,
                 reply_to: Coord::default(),
-            });
+            };
+            self.track_fetch(now, FetchPurpose::LimaChunk { seq }, req);
             active.chunks.push_back(LimaChunkRec {
                 seq,
                 count,
@@ -896,7 +1121,7 @@ impl Engine {
                     .queue_mut(q)
                     .reserve()
                     .expect("checked not full");
-                self.issue_queue_fetch(q, slot, paddr, false);
+                self.issue_queue_fetch(now, q, slot, paddr, false);
                 active.head_pos += 1;
             }
             budget -= 1;

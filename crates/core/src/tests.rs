@@ -632,3 +632,227 @@ fn mmio_offsets_stay_inside_one_page() {
         assert!(load_offset(mmio::LoadOp::FaultVa, q) < maple_mem::PAGE_SIZE);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fault-plane & robustness tests
+// ---------------------------------------------------------------------------
+
+use maple_sim::fault::{FaultSchedule, WatchdogConfig};
+
+#[test]
+fn stale_responses_counted_across_back_to_back_resets() {
+    // Regression for DESIGN.md §4b: every reset drops the engine's
+    // in-flight transaction tracking while DRAM responses are still on
+    // their way back. Two back-to-back resets must count ALL of the
+    // orphaned responses (the counter survives reset) and leave the
+    // engine fully functional.
+    let mut b = Bench::new(MapleConfig::default());
+    b.map(0x4000_0000, 1);
+    for _round in 0..2 {
+        for i in 0..4u64 {
+            let id = b.store(StoreOp::ProducePtr, 0, 0x4000_0000 + i * 4);
+            b.run_until_ack(id, 5000);
+        }
+        // All four fetches are in DRAM (300-cycle latency); reset now.
+        let r = b.store(StoreOp::Reset, 0, 0);
+        b.run_until_ack(r, 200);
+    }
+    // Drain the orphaned responses from both rounds.
+    b.run(3000);
+    assert_eq!(
+        b.engine.stats().stale_responses.get(),
+        8,
+        "every orphaned response counted, none double-counted"
+    );
+    assert!(b.engine.queue(0).is_empty(), "stale fills must not land");
+    // Engine still works after the double reset.
+    let p = b.store(StoreOp::Produce, 0, 11);
+    b.run_until_ack(p, 200);
+    let c = b.load(LoadOp::Consume, 0, 4);
+    assert_eq!(b.run_until_ack(c, 200), 11);
+}
+
+#[test]
+fn out_of_range_queue_reports_error_not_panic() {
+    // An engine configured with fewer than 8 queues can still receive
+    // MMIO offsets that decode to a high queue index. That must produce
+    // an error response (all-ones) and a counter bump, never an
+    // out-of-bounds panic.
+    let cfg = MapleConfig {
+        queues: 4,
+        ..MapleConfig::default()
+    };
+    let mut b = Bench::new(cfg);
+    let s = b.store(StoreOp::Produce, 5, 1);
+    assert_eq!(b.run_until_ack(s, 100), u64::MAX, "store rejected");
+    let c = b.load(LoadOp::Consume, 6, 4);
+    assert_eq!(b.run_until_ack(c, 100), u64::MAX, "consume rejected");
+    assert_eq!(b.engine.stats().bad_requests.get(), 2);
+    // In-range queues unaffected.
+    let p = b.store(StoreOp::Produce, 3, 9);
+    b.run_until_ack(p, 100);
+    let c2 = b.load(LoadOp::Consume, 3, 4);
+    assert_eq!(b.run_until_ack(c2, 100), 9);
+}
+
+#[test]
+fn watchdog_retries_lost_fetch_and_completes() {
+    let mut b = Bench::new(MapleConfig::default());
+    b.engine.set_watchdog(WatchdogConfig {
+        timeout: 500,
+        max_retries: 3,
+    });
+    let pa = b.map(0x4000_0000, 1);
+    b.mem.write_u32(pa, 777);
+    let id = b.store(StoreOp::ProducePtr, 0, 0x4000_0000);
+    // Pump manually, losing the FIRST memory request the engine emits
+    // (a dropped NoC packet).
+    let mut dropped = false;
+    for _ in 0..5000 {
+        b.engine.tick(b.now, &mut b.mem);
+        while let Some(req) = b.engine.pop_mem_request() {
+            if !dropped {
+                dropped = true;
+                continue; // lost on the NoC
+            }
+            b.l2.accept(b.now, req);
+        }
+        b.l2.tick(b.now, &mut b.mem);
+        while let Some(resp) = b.l2.pop_outgoing() {
+            b.engine.on_mem_resp(b.now, resp.resp, &b.mem);
+        }
+        while let Some(r) = b.engine.pop_response(b.now) {
+            b.acks.push((r.resp.id, r.resp.data));
+        }
+        b.now += 1;
+    }
+    assert!(dropped, "a fetch was issued and lost");
+    assert!(b.ack_of(id).is_some(), "produce store acked at accept time");
+    assert!(b.engine.stats().fetch_timeouts.get() >= 1);
+    assert_eq!(b.engine.stats().fetch_retries.get(), 1);
+    assert!(!b.engine.is_poisoned(), "recovered, not poisoned");
+    let c = b.load(LoadOp::Consume, 0, 4);
+    assert_eq!(b.run_until_ack(c, 5000), 777, "retried fetch delivered");
+}
+
+#[test]
+fn watchdog_exhaustion_poisons_engine() {
+    let mut b = Bench::new(MapleConfig::default());
+    b.engine.set_watchdog(WatchdogConfig {
+        timeout: 100,
+        max_retries: 3,
+    });
+    b.map(0x4000_0000, 1);
+    let id = b.store(StoreOp::ProducePtr, 0, 0x4000_0000);
+    // Black-hole every memory request: the fetch can never complete.
+    for _ in 0..5000 {
+        b.engine.tick(b.now, &mut b.mem);
+        while b.engine.pop_mem_request().is_some() {}
+        while let Some(r) = b.engine.pop_response(b.now) {
+            b.acks.push((r.resp.id, r.resp.data));
+        }
+        b.now += 1;
+    }
+    assert!(b.ack_of(id).is_some(), "produce store itself was acked");
+    assert!(b.engine.is_poisoned());
+    assert_eq!(b.engine.stats().fetch_retries.get(), 3);
+    assert_eq!(b.engine.stats().fetch_timeouts.get(), 4, "initial + 3 retries");
+    assert_eq!(b.engine.stats().poisoned_fetches.get(), 1);
+    assert_eq!(b.engine.inflight_fetches(), 0, "abandoned fetch untracked");
+    // A reset clears the poison.
+    let r = b.store(StoreOp::Reset, 0, 0);
+    b.run_until_ack(r, 200);
+    assert!(!b.engine.is_poisoned());
+}
+
+#[test]
+fn timed_out_amo_fetch_is_not_retried() {
+    // Retrying an atomic would double-apply the side effect, so the
+    // watchdog must poison immediately instead.
+    let mut b = Bench::new(MapleConfig::default());
+    b.engine.set_watchdog(WatchdogConfig {
+        timeout: 100,
+        max_retries: 3,
+    });
+    let pa = b.map(0x4000_0000, 1);
+    b.mem.write_u32(pa, 50);
+    let op = b.store(StoreOp::SetAmoOperand, 0, 7);
+    b.run_until_ack(op, 100);
+    let _id = b.store(StoreOp::ProduceAmoAdd, 0, 0x4000_0000);
+    for _ in 0..2000 {
+        b.engine.tick(b.now, &mut b.mem);
+        while b.engine.pop_mem_request().is_some() {}
+        while let Some(r) = b.engine.pop_response(b.now) {
+            b.acks.push((r.resp.id, r.resp.data));
+        }
+        b.now += 1;
+    }
+    assert!(b.engine.is_poisoned());
+    assert_eq!(b.engine.stats().fetch_retries.get(), 0, "atomics never retried");
+    assert_eq!(b.engine.stats().poisoned_fetches.get(), 1);
+}
+
+#[test]
+fn retried_request_replays_response_without_double_effect() {
+    // A core watchdog re-sends an MMIO store whose ack was lost. The
+    // engine must recognise the (requester, txid) pair and replay the
+    // recorded ack instead of executing the produce twice.
+    let mut b = Bench::new(MapleConfig::default());
+    let p = b.store(StoreOp::Produce, 0, 5);
+    b.run_until_ack(p, 100);
+    b.engine.accept(
+        b.now,
+        MemReq {
+            id: p,
+            addr: PAddr(ENGINE_PAGE + store_offset(StoreOp::Produce, 0)),
+            kind: MemReqKind::Write {
+                size: 8,
+                data: 5,
+                ack: true,
+            },
+            reply_to: Coord::new(0, 0),
+        },
+    );
+    b.run(100);
+    assert_eq!(b.engine.stats().replayed_responses.get(), 1);
+    assert_eq!(b.engine.queue(0).produced.get(), 1, "no double push");
+    assert_eq!(b.engine.queue(0).occupancy(), 1);
+}
+
+#[test]
+fn duplicate_of_inflight_request_is_dropped() {
+    // Retry arrives while the original operation is still buffered
+    // (consume on an empty queue): the duplicate must be swallowed, and
+    // the eventual data delivered exactly once.
+    let mut b = Bench::new(MapleConfig::default());
+    let c = b.load(LoadOp::Consume, 0, 4);
+    b.run(50);
+    b.engine.accept(
+        b.now,
+        MemReq {
+            id: c,
+            addr: PAddr(ENGINE_PAGE + load_offset(LoadOp::Consume, 0)),
+            kind: MemReqKind::ReadWord { size: 4 },
+            reply_to: Coord::new(0, 0),
+        },
+    );
+    b.run(50);
+    assert_eq!(b.engine.stats().duplicate_requests.get(), 1);
+    let p = b.store(StoreOp::Produce, 0, 42);
+    b.run_until_ack(p, 100);
+    assert_eq!(b.run_until_ack(c, 100), 42);
+    assert_eq!(b.engine.queue(0).consumed.get(), 1, "popped exactly once");
+}
+
+#[test]
+fn ack_loss_schedule_drops_responses_at_source() {
+    let mut b = Bench::new(MapleConfig::default());
+    // Rate 1.0: every outbound response is lost.
+    b.engine.set_ack_fault(FaultSchedule::new(1.0, 0, 7));
+    let p = b.store(StoreOp::Produce, 0, 3);
+    b.run(500);
+    assert_eq!(b.ack_of(p), None, "ack swallowed by the fault plane");
+    assert!(b.engine.stats().acks_dropped.get() >= 1);
+    // The produce itself still executed; the replay cache holds the ack.
+    assert_eq!(b.engine.queue(0).produced.get(), 1);
+}

@@ -107,6 +107,9 @@ pub struct CpuStats {
     pub mem_stall_cycles: Counter,
     /// Cycles spent blocked on page-table walks.
     pub ptw_stall_cycles: Counter,
+    /// Responses for transactions the core no longer tracks (duplicate
+    /// deliveries after an uncore-level MMIO retry); discarded.
+    pub stale_responses: Counter,
     /// The cycle `Halt` retired, if it has.
     pub halted_at: Option<Cycle>,
 }
@@ -236,6 +239,23 @@ impl Core {
         self.tlb.shootdown(vpn);
     }
 
+    /// MMIO stores issued but not yet acknowledged (hang diagnostics).
+    #[must_use]
+    pub fn mmio_unacked(&self) -> usize {
+        self.mmio_inflight.len()
+    }
+
+    /// The core's state as a static label (hang diagnostics).
+    #[must_use]
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            CoreState::Running => "running",
+            CoreState::WaitingMem => "waiting-mem",
+            CoreState::Halted => "halted",
+            CoreState::Faulted => "faulted",
+        }
+    }
+
     fn fresh_id(&mut self) -> u64 {
         let id = self.next_req_id;
         self.next_req_id += 1;
@@ -327,7 +347,13 @@ impl Core {
                     self.state = CoreState::Running;
                     self.next_ready = now.plus(1);
                 }
-                _ => panic!("core {}: unexpected memory response {resp:?}", self.id),
+                // A response for a transaction the core no longer waits
+                // on: possible when an uncore watchdog re-sent an MMIO
+                // request and both the replayed and the original response
+                // eventually arrived. Count and discard.
+                _ => {
+                    self.stats.stale_responses.inc();
+                }
             }
         }
 

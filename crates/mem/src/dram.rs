@@ -40,6 +40,8 @@ pub struct DramStats {
     pub requests: Counter,
     /// Observed queueing + access latency.
     pub latency: Histogram,
+    /// Accesses hit by a fault-plane latency spike.
+    pub spikes: Counter,
 }
 
 /// The DRAM channel: accepts opaque tokens and returns them `latency`
@@ -70,6 +72,8 @@ pub struct Dram<T> {
     pending: VecDeque<(Cycle, T)>,
     in_flight: DelayQueue<(Cycle, T)>,
     stats: DramStats,
+    /// Fault-plane latency-spike schedule; `None` means nominal timing.
+    fault: Option<maple_sim::fault::FaultSchedule>,
 }
 
 impl<T> Dram<T> {
@@ -81,7 +85,13 @@ impl<T> Dram<T> {
             pending: VecDeque::new(),
             in_flight: DelayQueue::new(),
             stats: DramStats::default(),
+            fault: None,
         }
+    }
+
+    /// Installs the fault plane's DRAM latency-spike schedule.
+    pub fn set_fault(&mut self, fault: maple_sim::fault::FaultSchedule) {
+        self.fault = Some(fault);
     }
 
     /// The configuration.
@@ -105,7 +115,14 @@ impl<T> Dram<T> {
             let Some(entry) = self.pending.pop_front() else {
                 break;
             };
-            self.in_flight.send(now, self.cfg.latency, entry);
+            let mut latency = self.cfg.latency;
+            if let Some(f) = &mut self.fault {
+                if f.strike() {
+                    self.stats.spikes.inc();
+                    latency = latency.saturating_add(f.magnitude());
+                }
+            }
+            self.in_flight.send(now, latency, entry);
         }
     }
 
@@ -202,5 +219,22 @@ mod tests {
             d.request(Cycle(0), ());
         }
         assert_eq!(d.stats().requests.get(), 5);
+    }
+
+    #[test]
+    fn fault_plane_spikes_latency() {
+        use maple_sim::fault::FaultSchedule;
+        let cfg = DramConfig {
+            latency: 100,
+            issue_per_cycle: 1,
+            max_outstanding: 64,
+        };
+        let mut d: Dram<u8> = Dram::new(cfg);
+        d.set_fault(FaultSchedule::new(1.0, 250, 9));
+        d.request(Cycle(0), 7);
+        d.tick(Cycle(0));
+        assert_eq!(d.pop_completed(Cycle(349)), None, "spike adds 250 cycles");
+        assert_eq!(d.pop_completed(Cycle(350)), Some(7));
+        assert_eq!(d.stats().spikes.get(), 1);
     }
 }

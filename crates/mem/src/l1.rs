@@ -150,6 +150,10 @@ pub struct L1Stats {
     pub evictions: Counter,
     /// Latency from acceptance to response for loads (all flavours).
     pub load_latency: Histogram,
+    /// Responses for unknown transactions, discarded. Nonzero only when
+    /// the fault plane's watchdogs re-issue requests and both the original
+    /// and the retried response eventually arrive.
+    pub stale_responses: Counter,
 }
 
 #[derive(Debug)]
@@ -381,14 +385,14 @@ impl L1Cache {
 
     /// Delivers a memory-system response to this L1.
     ///
-    /// # Panics
-    ///
-    /// Panics if the transaction ID is unknown (a protocol bug).
+    /// A response for an unknown transaction (possible when a watchdog
+    /// re-issued the request and both copies were answered) is counted in
+    /// [`L1Stats::stale_responses`] and discarded.
     pub fn on_mem_resp(&mut self, now: Cycle, resp: MemResp, mem: &PhysMem) {
-        let origin = self
-            .inflight
-            .remove(&resp.id)
-            .expect("response for unknown L1 transaction");
+        let Some(origin) = self.inflight.remove(&resp.id) else {
+            self.stats.stale_responses.inc();
+            return;
+        };
         match origin {
             Origin::Fill { line, waiters } => {
                 self.fills_by_line.remove(&line);

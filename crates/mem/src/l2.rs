@@ -294,6 +294,18 @@ impl SharedL2 {
     pub fn stats(&self) -> &L2Stats {
         &self.stats
     }
+
+    /// Installs the fault plane's DRAM latency-spike schedule on the
+    /// backing channel.
+    pub fn set_dram_fault(&mut self, fault: maple_sim::fault::FaultSchedule) {
+        self.dram.set_fault(fault);
+    }
+
+    /// Statistics of the backing DRAM channel (spike counts live here).
+    #[must_use]
+    pub fn dram_stats(&self) -> &crate::dram::DramStats {
+        self.dram.stats()
+    }
 }
 
 #[cfg(test)]

@@ -139,6 +139,33 @@ pub struct MeshStats {
     pub hops: Counter,
     /// End-to-end latency (inject to deliver) of delivered packets.
     pub latency: Histogram,
+    /// Packets dropped by the fault plane (counted as injected, never
+    /// delivered).
+    pub dropped: Counter,
+    /// Packets held back by the fault plane's extra-delay schedule.
+    pub delayed: Counter,
+}
+
+/// The NoC's slice of the fault plane: independent drop and extra-delay
+/// schedules. Installed with [`Mesh::set_fault`]; only packets injected
+/// through [`Mesh::inject_unreliable`] are subject to it.
+#[derive(Debug, Clone)]
+pub struct NocFault {
+    /// Packet-drop schedule.
+    pub drop: maple_sim::fault::FaultSchedule,
+    /// Extra-delay schedule (magnitude = extra cycles).
+    pub delay: maple_sim::fault::FaultSchedule,
+}
+
+impl NocFault {
+    /// Builds the NoC fault state from a plane configuration.
+    #[must_use]
+    pub fn from_plane(cfg: &maple_sim::fault::FaultPlaneConfig) -> Self {
+        NocFault {
+            drop: cfg.noc_drop_schedule(),
+            delay: cfg.noc_delay_schedule(),
+        }
+    }
 }
 
 const PORTS: usize = 5;
@@ -170,6 +197,8 @@ pub struct Mesh<T> {
     rr_start: Vec<usize>,
     delivered: Vec<VecDeque<T>>,
     stats: MeshStats,
+    /// Fault plane slice; `None` (the default) means perfectly reliable.
+    fault: Option<NocFault>,
 }
 
 impl<T> Mesh<T> {
@@ -191,7 +220,15 @@ impl<T> Mesh<T> {
             rr_start: vec![0; n],
             delivered: (0..n).map(|_| VecDeque::new()).collect(),
             stats: MeshStats::default(),
+            fault: None,
         }
+    }
+
+    /// Installs the fault plane's NoC schedules. Fault-free operation is
+    /// the default; installing schedules only affects packets injected
+    /// through [`Mesh::inject_unreliable`].
+    pub fn set_fault(&mut self, fault: NocFault) {
+        self.fault = Some(fault);
     }
 
     /// The mesh configuration.
@@ -248,6 +285,61 @@ impl<T> Mesh<T> {
             flits,
             injected_at: now,
             ready_at: now,
+            hops: 0,
+            payload,
+        });
+        self.stats.injected.inc();
+        Ok(())
+    }
+
+    /// Like [`Mesh::inject`], but the packet is subject to the installed
+    /// [`NocFault`] schedules: it may be silently dropped (counted as
+    /// injected and in [`MeshStats::dropped`]) or held for extra cycles.
+    ///
+    /// Fault draws happen only after the packet is admitted, so a
+    /// backpressured retry does not consume randomness. Without an
+    /// installed fault state this is exactly [`Mesh::inject`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Backpressure`] as [`Mesh::inject`] does.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Mesh::inject`].
+    pub fn inject_unreliable(
+        &mut self,
+        now: Cycle,
+        src: Coord,
+        dst: Coord,
+        flits: u8,
+        payload: T,
+    ) -> Result<(), Backpressure<T>> {
+        assert!(self.in_bounds(src), "inject: src {src} out of bounds");
+        assert!(self.in_bounds(dst), "inject: dst {dst} out of bounds");
+        assert!(flits > 0, "inject: packets need at least one flit");
+        let i = self.idx(src);
+        if self.buffers[i][LOCAL].len() >= self.cfg.buffer_depth {
+            return Err(Backpressure(payload));
+        }
+        let mut ready_at = now;
+        if let Some(f) = &mut self.fault {
+            if f.drop.strike() {
+                // The packet entered the network and died there.
+                self.stats.injected.inc();
+                self.stats.dropped.inc();
+                return Ok(());
+            }
+            if f.delay.strike() {
+                self.stats.delayed.inc();
+                ready_at = now.plus(f.delay.magnitude());
+            }
+        }
+        self.buffers[i][LOCAL].push_back(Packet {
+            dst,
+            flits,
+            injected_at: now,
+            ready_at,
             hops: 0,
             payload,
         });
@@ -581,5 +673,63 @@ mod tests {
         assert_eq!(mesh.take_one_delivered(c), Some(1));
         assert_eq!(mesh.take_one_delivered(c), Some(2));
         assert_eq!(mesh.take_one_delivered(c), None);
+    }
+
+    #[test]
+    fn fault_plane_drops_unreliable_packets() {
+        use maple_sim::fault::FaultPlaneConfig;
+        let mut mesh: Mesh<u32> = Mesh::new(MeshConfig::new(2, 2));
+        mesh.set_fault(NocFault::from_plane(
+            &FaultPlaneConfig::new(3).with_noc_drop(1.0),
+        ));
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(1, 1);
+        for k in 0..8 {
+            mesh.inject_unreliable(Cycle(k), src, dst, 1, k as u32).unwrap();
+        }
+        drive(&mut mesh, Cycle(8), 64);
+        assert!(mesh.take_delivered(dst).is_empty(), "all packets dropped");
+        assert_eq!(mesh.stats().dropped.get(), 8);
+        assert_eq!(mesh.stats().injected.get(), 8, "drops still count as injected");
+        assert_eq!(mesh.stats().delivered.get(), 0);
+        assert!(mesh.is_quiescent());
+    }
+
+    #[test]
+    fn fault_plane_delays_but_delivers() {
+        use maple_sim::fault::FaultPlaneConfig;
+        let extra = 40;
+        let mut mesh: Mesh<u32> = Mesh::new(MeshConfig::new(2, 1));
+        mesh.set_fault(NocFault::from_plane(
+            &FaultPlaneConfig::new(5).with_noc_delay(1.0, extra),
+        ));
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(1, 0);
+        mesh.inject_unreliable(Cycle(0), src, dst, 1, 77).unwrap();
+        let mut arrival = None;
+        for t in 0..200u64 {
+            mesh.tick(Cycle(t));
+            if let Some(v) = mesh.take_one_delivered(dst) {
+                arrival = Some((t, v));
+                break;
+            }
+        }
+        let (t, v) = arrival.expect("delayed packet still arrives");
+        assert_eq!(v, 77);
+        assert!(t >= extra, "held at least {extra} extra cycles, arrived at {t}");
+        assert_eq!(mesh.stats().delayed.get(), 1);
+        assert_eq!(mesh.stats().dropped.get(), 0);
+    }
+
+    #[test]
+    fn inject_unreliable_without_fault_state_is_reliable() {
+        let mut mesh: Mesh<u32> = Mesh::new(MeshConfig::new(2, 1));
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(1, 0);
+        mesh.inject_unreliable(Cycle(0), src, dst, 1, 9).unwrap();
+        drive(&mut mesh, Cycle(0), 16);
+        assert_eq!(mesh.take_delivered(dst), [9]);
+        assert_eq!(mesh.stats().dropped.get(), 0);
+        assert_eq!(mesh.stats().delayed.get(), 0);
     }
 }

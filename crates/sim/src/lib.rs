@@ -25,9 +25,12 @@
 //! assert_eq!(link.recv(Cycle(13)), Some("hello"));
 //! ```
 
+pub mod fault;
 pub mod link;
 pub mod rng;
 pub mod stats;
+
+pub use fault::HangDiagnosis;
 
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
@@ -93,27 +96,42 @@ impl From<u64> for Cycle {
 }
 
 /// Outcome of running a simulation loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RunOutcome {
     /// The completion condition was met at the contained cycle.
     Finished(Cycle),
     /// The cycle budget was exhausted before completion.
     TimedOut(Cycle),
+    /// The run stopped without completing and the driver captured a
+    /// structured snapshot of the stuck state (cycle-budget expiry with
+    /// outstanding work, or a poisoned engine). Carries the cycle inside
+    /// the diagnosis.
+    Hung(Box<HangDiagnosis>),
 }
 
 impl RunOutcome {
     /// The cycle at which the run stopped, regardless of outcome.
     #[must_use]
-    pub fn cycle(self) -> Cycle {
+    pub fn cycle(&self) -> Cycle {
         match self {
-            RunOutcome::Finished(c) | RunOutcome::TimedOut(c) => c,
+            RunOutcome::Finished(c) | RunOutcome::TimedOut(c) => *c,
+            RunOutcome::Hung(d) => d.at,
         }
     }
 
     /// Whether the run completed before the budget expired.
     #[must_use]
-    pub fn is_finished(self) -> bool {
+    pub fn is_finished(&self) -> bool {
         matches!(self, RunOutcome::Finished(_))
+    }
+
+    /// The hang diagnosis, when the driver captured one.
+    #[must_use]
+    pub fn diagnosis(&self) -> Option<&HangDiagnosis> {
+        match self {
+            RunOutcome::Hung(d) => Some(d),
+            _ => None,
+        }
     }
 }
 

@@ -7,6 +7,7 @@ use maple_cpu::CpuConfig;
 use maple_mem::dram::DramConfig;
 use maple_mem::l2::L2Config;
 use maple_noc::Coord;
+use maple_sim::fault::FaultPlaneConfig;
 
 /// Physical base address of the MAPLE instance pages.
 pub const MAPLE_PA_BASE: u64 = 0xF000_0000;
@@ -47,6 +48,10 @@ pub struct SocConfig {
     /// scattered across the X and Y tile axes so that MAPLE are near
     /// cores").
     pub maple_tile_override: Option<Vec<(u8, u8)>>,
+    /// Deterministic fault-injection plane; `None` (the default) keeps
+    /// every run fault-free and timing-identical to a build without the
+    /// plane.
+    pub fault: Option<FaultPlaneConfig>,
 }
 
 impl SocConfig {
@@ -70,6 +75,7 @@ impl SocConfig {
             droplet: None,
             desc_queue_capacity: 32,
             maple_tile_override: None,
+            fault: None,
         }
     }
 
@@ -129,6 +135,13 @@ impl SocConfig {
     #[must_use]
     pub fn with_droplet(mut self, cfg: DropletConfig) -> Self {
         self.droplet = Some(cfg);
+        self
+    }
+
+    /// Installs the deterministic fault-injection plane.
+    #[must_use]
+    pub fn with_fault_plane(mut self, fault: FaultPlaneConfig) -> Self {
+        self.fault = Some(fault);
         self
     }
 

@@ -41,7 +41,7 @@ pub mod runtime;
 pub mod system;
 
 pub use config::SocConfig;
-pub use system::System;
+pub use system::{ChaosStats, System};
 
 /// Re-export of the MAPLE MMIO encoding, for programs that form engine
 /// addresses at run time (e.g. dynamic queue selection).

@@ -128,6 +128,19 @@ impl AddressSpace {
     pub fn translate(&self, mem: &PhysMem, va: VAddr) -> Option<PAddr> {
         self.pt.translate(mem, va).ok().map(|t| t.paddr)
     }
+
+    /// Unmaps one page (e.g. a poisoned device mapping). Returns whether
+    /// the page was mapped.
+    pub fn unmap(&mut self, mem: &mut PhysMem, va: VAddr) -> bool {
+        self.pt.unmap(mem, va)
+    }
+
+    /// The heap span allocated so far, `[HEAP_BASE, next)`. The fault
+    /// plane draws TLB-shootdown targets from this range.
+    #[must_use]
+    pub fn heap_span(&self) -> (u64, u64) {
+        (HEAP_BASE, self.next_heap)
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! MAPLE instance mapping, DeSC core pairing, DROPLET configuration, and
 //! statistics extraction.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use maple_baselines::droplet::{DropletPrefetcher, IndirectWatch};
 use maple_core::Engine;
@@ -17,11 +17,13 @@ use maple_isa::{Program, Reg};
 use maple_mem::l2::SharedL2;
 use maple_mem::msg::{MemReq, MemResp};
 use maple_mem::phys::{PAddr, PhysMem, PAGE_SIZE};
-use maple_noc::{Coord, Mesh, MeshConfig};
+use maple_noc::{Coord, Mesh, MeshConfig, NocFault};
+use maple_sim::fault::{CoreHang, EngineHang, HangDiagnosis, WatchdogConfig};
 use maple_sim::link::DelayQueue;
+use maple_sim::stats::Counter;
 use maple_sim::{Cycle, RunOutcome};
 use maple_vm::page_table::FrameAllocator;
-use maple_vm::VAddr;
+use maple_vm::{VAddr, VirtPage};
 
 use crate::config::{SocConfig, TileLayout, MAPLE_PA_BASE};
 use crate::os::AddressSpace;
@@ -53,6 +55,55 @@ enum FaultTarget {
     Engine(usize),
 }
 
+/// One core-issued MMIO transaction under watchdog observation.
+#[derive(Debug, Clone, Copy)]
+struct MmioWatch {
+    req: MemReq,
+    issued: Cycle,
+    retries: u32,
+}
+
+/// Counters for everything the chaos plane injected and the recovery
+/// machinery did about it (the driver/uncore side; per-site counters live
+/// in the mesh, DRAM and engine stats).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosStats {
+    /// Scheduled mid-run engine `RESET`s delivered.
+    pub resets_injected: Counter,
+    /// Randomly-timed engine TLB shootdowns delivered.
+    pub shootdowns_injected: Counter,
+    /// Core-issued MMIO transactions that overran their watchdog.
+    pub mmio_timeouts: Counter,
+    /// MMIO transactions re-injected after a timeout.
+    pub mmio_retries: Counter,
+    /// Engines the driver retired (unmapped) after poisoning.
+    pub engines_poisoned: Counter,
+    /// Page faults that could not be serviced (outside any lazy region);
+    /// the faulting component stays stalled instead of panicking the
+    /// simulator.
+    pub unserviceable_faults: Counter,
+}
+
+/// Driver/uncore-level chaos state: scheduled events still to inject,
+/// outstanding MMIO transactions under watchdog, and poison bookkeeping.
+#[derive(Debug)]
+struct ChaosState {
+    /// Pending mid-run engine resets, sorted by cycle.
+    resets: VecDeque<(u64, usize)>,
+    /// Pending TLB shootdowns: `(cycle, raw random word)`, sorted.
+    shootdowns: VecDeque<(u64, u64)>,
+    /// Core-side MMIO watchdog policy.
+    watchdog: WatchdogConfig,
+    /// Outstanding MMIO transactions keyed by `(core, L1 txid)`.
+    mmio_watch: HashMap<(usize, u64), MmioWatch>,
+    /// Engines retired by the driver after poisoning.
+    retired: Vec<bool>,
+    /// User VA of each mapped engine page (recorded at `map_maple`),
+    /// needed to unmap a poisoned instance.
+    maple_vas: Vec<Option<VAddr>>,
+    stats: ChaosStats,
+}
+
 /// The assembled system.
 pub struct System {
     cfg: SocConfig,
@@ -77,6 +128,9 @@ pub struct System {
     /// Per-engine, per-queue occupancy samples (taken every
     /// [`OCCUPANCY_SAMPLE_PERIOD`] cycles).
     occupancy: Vec<Vec<maple_sim::stats::Histogram>>,
+    /// Fault-injection plane state; `None` keeps the run fault-free with
+    /// zero timing perturbation.
+    chaos: Option<ChaosState>,
     now: Cycle,
 }
 
@@ -106,10 +160,33 @@ impl System {
         let mut maple_cfg = cfg.maple;
         maple_cfg.decode_latency += cfg.maple_extra_latency / 2;
         maple_cfg.respond_latency += cfg.maple_extra_latency - cfg.maple_extra_latency / 2;
-        let engines = (0..cfg.maples).map(|_| Engine::new(maple_cfg)).collect();
-        let l2 = SharedL2::new(cfg.l2, cfg.dram);
+        let mut engines: Vec<Engine> = (0..cfg.maples).map(|_| Engine::new(maple_cfg)).collect();
+        let mut l2 = SharedL2::new(cfg.l2, cfg.dram);
+        let mut mesh = mesh;
         let droplet = cfg.droplet.map(DropletPrefetcher::new);
         let nodes = mesh.config().nodes();
+        // Install the fault plane's per-site schedules and the driver-side
+        // chaos state. All of this is skipped — and no RNG stream is ever
+        // created or drawn — when `cfg.fault` is `None`.
+        let chaos = cfg.fault.as_ref().map(|f| {
+            mesh.set_fault(NocFault::from_plane(f));
+            l2.set_dram_fault(f.dram_schedule());
+            for (e, engine) in engines.iter_mut().enumerate() {
+                engine.set_watchdog(f.engine_watchdog);
+                engine.set_ack_fault(f.ack_loss_schedule(e as u64));
+            }
+            let mut resets: Vec<(u64, usize)> = f.engine_resets.clone();
+            resets.sort_unstable();
+            ChaosState {
+                resets: resets.into(),
+                shootdowns: f.shootdown_events().into(),
+                watchdog: f.mmio_watchdog,
+                mmio_watch: HashMap::new(),
+                retired: vec![false; cfg.maples],
+                maple_vas: vec![None; cfg.maples],
+                stats: ChaosStats::default(),
+            }
+        });
         System {
             layout,
             mem,
@@ -130,6 +207,7 @@ impl System {
             occupancy: (0..cfg.maples)
                 .map(|_| vec![maple_sim::stats::Histogram::new(); maple_cfg.queues])
                 .collect(),
+            chaos,
             now: Cycle::ZERO,
             cfg,
         }
@@ -226,6 +304,9 @@ impl System {
             .aspace
             .map_device(&mut self.mem, &mut self.frames, page);
         self.engines[i].set_page_table(self.aspace.page_table());
+        if let Some(chaos) = &mut self.chaos {
+            chaos.maple_vas[i] = Some(va);
+        }
         va
     }
 
@@ -317,6 +398,142 @@ impl System {
         self.out_uncore[t].send(self.now, self.cfg.uncore_latency, msg);
     }
 
+    fn is_maple_tile(&self, c: Coord) -> bool {
+        self.layout.maple_tiles.contains(&c)
+    }
+
+    /// Retires a poisoned MAPLE instance: the driver unmaps its page
+    /// (with the matching shootdowns) so no further operations reach it.
+    fn retire_engine(&mut self, e: usize) {
+        let Some(chaos) = &mut self.chaos else {
+            return;
+        };
+        if chaos.retired[e] {
+            return;
+        }
+        chaos.retired[e] = true;
+        chaos.stats.engines_poisoned.inc();
+        let va = chaos.maple_vas[e].take();
+        if let Some(va) = va {
+            self.aspace.unmap(&mut self.mem, va);
+            for core in &mut self.cores {
+                core.tlb_shootdown(va.page());
+            }
+            for engine in &mut self.engines {
+                engine.tlb_shootdown(va.page());
+            }
+        }
+    }
+
+    /// Injects due scheduled faults and scans the core-MMIO watchdog.
+    /// No-op (no RNG draws, no scans) when the plane is off.
+    fn chaos_stage(&mut self, now: Cycle) {
+        if self.chaos.is_none() {
+            return;
+        }
+
+        // Scheduled mid-run engine RESETs (the driver re-initialising an
+        // instance under live traffic).
+        loop {
+            let chaos = self.chaos.as_mut().expect("checked above");
+            match chaos.resets.front() {
+                Some(&(at, e)) if at <= now.0 => {
+                    chaos.resets.pop_front();
+                    if e < self.engines.len() && !chaos.retired[e] {
+                        chaos.stats.resets_injected.inc();
+                        self.engines[e].reset();
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        // Randomly-timed TLB shootdowns on heap pages (an OS unmap/remap
+        // racing the engines).
+        loop {
+            let chaos = self.chaos.as_mut().expect("checked above");
+            match chaos.shootdowns.front() {
+                Some(&(at, raw)) if at <= now.0 => {
+                    chaos.shootdowns.pop_front();
+                    let (lo, hi) = self.aspace.heap_span();
+                    let pages = (hi - lo) / PAGE_SIZE;
+                    if pages == 0 {
+                        continue;
+                    }
+                    let vpn: VirtPage = VAddr(lo + (raw % pages) * PAGE_SIZE).page();
+                    self.chaos
+                        .as_mut()
+                        .expect("checked above")
+                        .stats
+                        .shootdowns_injected
+                        .inc();
+                    for core in &mut self.cores {
+                        core.tlb_shootdown(vpn);
+                    }
+                    for engine in &mut self.engines {
+                        engine.tlb_shootdown(vpn);
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        // Engines whose own watchdog gave up: the driver retires them.
+        for e in 0..self.engines.len() {
+            if self.engines[e].is_poisoned() {
+                self.retire_engine(e);
+            }
+        }
+
+        // Core-MMIO watchdog: re-inject overdue transactions; after the
+        // retry budget, declare the target engine unreachable and retire
+        // it. Sorted keys keep seed replay deterministic despite HashMap
+        // iteration order.
+        let chaos = self.chaos.as_mut().expect("checked above");
+        if chaos.mmio_watch.is_empty() {
+            return;
+        }
+        let w = chaos.watchdog;
+        let mut overdue: Vec<(usize, u64)> = chaos
+            .mmio_watch
+            .iter()
+            .filter(|(_, m)| now >= w.deadline(m.issued, m.retries))
+            .map(|(&k, _)| k)
+            .collect();
+        overdue.sort_unstable();
+        for key in overdue {
+            let chaos = self.chaos.as_mut().expect("checked above");
+            let Some(m) = chaos.mmio_watch.get_mut(&key) else {
+                continue;
+            };
+            chaos.stats.mmio_timeouts.inc();
+            if m.retries >= w.max_retries {
+                let req = m.req;
+                chaos.mmio_watch.remove(&key);
+                let e = ((req.addr.0.saturating_sub(MAPLE_PA_BASE)) / PAGE_SIZE) as usize;
+                if e < self.engines.len() {
+                    self.retire_engine(e);
+                }
+            } else {
+                m.retries += 1;
+                m.issued = now;
+                let req = m.req;
+                chaos.stats.mmio_retries.inc();
+                let tile = self.layout.core_tiles[key.0];
+                let dst = self.route(req.addr);
+                let flits = req.flits();
+                self.queue_out(
+                    tile,
+                    OutMsg {
+                        dst,
+                        flits,
+                        payload: NocPayload::Req(req),
+                    },
+                );
+            }
+        }
+    }
+
     fn step(&mut self) {
         let now = self.now;
 
@@ -326,6 +543,9 @@ impl System {
             for payload in self.mesh.take_delivered(tile) {
                 match payload {
                     NocPayload::Resp { resp, .. } => {
+                        if let Some(chaos) = &mut self.chaos {
+                            chaos.mmio_watch.remove(&(i, resp.id));
+                        }
                         self.cores[i].on_mem_resp(now, resp, &self.mem);
                     }
                     NocPayload::Req(req) => {
@@ -357,33 +577,57 @@ impl System {
             }
         }
 
-        // 2. Complete due fault services.
+        // 2. Complete due fault services. A fault outside any lazy region
+        //    cannot be serviced: under chaos it is counted and the
+        //    component stays stalled (the watchdog/hang machinery reports
+        //    it); without chaos it is still the hard invariant it was.
         while let Some(target) = self.fault_service.recv(now) {
             match target {
                 FaultTarget::Core(i) => {
-                    let fault = self.cores[i].fault().expect("core still faulted");
+                    let Some(fault) = self.cores[i].fault() else {
+                        self.faults_in_service[i] = false;
+                        continue;
+                    };
                     let ok = self.aspace.handle_fault(
                         &mut self.mem,
                         &mut self.frames,
                         fault.vaddr,
                     );
-                    assert!(ok, "core {i} faulted outside any lazy region: {fault:?}");
-                    self.cores[i].resume_from_fault(now, 1);
-                    self.faults_in_service[i] = false;
+                    if ok {
+                        self.cores[i].resume_from_fault(now, 1);
+                        self.faults_in_service[i] = false;
+                    } else if let Some(chaos) = &mut self.chaos {
+                        // Keep `faults_in_service` set: the core stays
+                        // Faulted and the hang diagnosis reports it.
+                        chaos.stats.unserviceable_faults.inc();
+                    } else {
+                        panic!("core {i} faulted outside any lazy region: {fault:?}");
+                    }
                 }
                 FaultTarget::Engine(e) => {
-                    let fault = self.engines[e].fault().expect("engine still faulted");
+                    let Some(fault) = self.engines[e].fault() else {
+                        self.engine_fault_in_service[e] = false;
+                        continue;
+                    };
                     let ok = self.aspace.handle_fault(
                         &mut self.mem,
                         &mut self.frames,
                         fault.vaddr,
                     );
-                    assert!(ok, "MAPLE {e} faulted outside any lazy region: {fault:?}");
-                    self.engines[e].resolve_fault();
-                    self.engine_fault_in_service[e] = false;
+                    if ok {
+                        self.engines[e].resolve_fault();
+                        self.engine_fault_in_service[e] = false;
+                    } else if let Some(chaos) = &mut self.chaos {
+                        chaos.stats.unserviceable_faults.inc();
+                    } else {
+                        panic!("MAPLE {e} faulted outside any lazy region: {fault:?}");
+                    }
                 }
             }
         }
+
+        // 2b. Inject scheduled chaos events and scan the MMIO watchdog.
+        self.chaos_stage(now);
 
         // 3. Tick cores (with DeSC queues when paired), engines, L2,
         //    DROPLET.
@@ -421,6 +665,22 @@ impl System {
                 req.reply_to = tile;
                 let dst = self.route(req.addr);
                 let flits = req.flits();
+                // MMIO transactions to MAPLE pages go under watchdog
+                // observation: the plane may drop the request or its
+                // response, and the engine's dedup cache makes re-sending
+                // the identical request safe.
+                if req.addr.0 >= MAPLE_PA_BASE {
+                    if let Some(chaos) = &mut self.chaos {
+                        chaos.mmio_watch.insert(
+                            (i, req.id),
+                            MmioWatch {
+                                req,
+                                issued: now,
+                                retries: 0,
+                            },
+                        );
+                    }
+                }
                 self.queue_out(
                     tile,
                     OutMsg {
@@ -492,7 +752,37 @@ impl System {
                 } else {
                     break;
                 };
-                match self.mesh.inject(now, src, msg.dst, msg.flits, msg.payload) {
+                // Fault-eligible traffic must be individually retryable
+                // without changing architectural order:
+                // - anything an engine sources (its fetches, responses,
+                //   acks): fetch slots are pre-reserved and responses are
+                //   replayable, so loss is recoverable;
+                // - the memory path back into an engine (L2 → MAPLE
+                //   fills): the engine watchdog re-issues by txid;
+                // - core → engine *blocking* MMIO loads (consume/open):
+                //   each core has at most one outstanding, so a retry
+                //   cannot reorder.
+                // Core → engine posted stores (produce) are excluded:
+                // arrival order defines queue order, so dropping or
+                // delaying one would silently reorder the stream. The
+                // host memory path (core ↔ L2) is likewise excluded: a
+                // write-through store has no ack to retry on.
+                let unreliable = self.chaos.is_some()
+                    && (self.is_maple_tile(src)
+                        || (self.is_maple_tile(msg.dst)
+                            && match &msg.payload {
+                                NocPayload::Resp { .. } => true,
+                                NocPayload::Req(req) => {
+                                    matches!(req.kind, maple_mem::msg::MemReqKind::ReadWord { .. })
+                                }
+                            }));
+                let injected = if unreliable {
+                    self.mesh
+                        .inject_unreliable(now, src, msg.dst, msg.flits, msg.payload)
+                } else {
+                    self.mesh.inject(now, src, msg.dst, msg.flits, msg.payload)
+                };
+                match injected {
                     Ok(()) => {}
                     Err(back) => {
                         self.out_retry[t].push_front(OutMsg {
@@ -523,6 +813,12 @@ impl System {
 
     /// Runs until every loaded core halts or `max_cycles` elapse.
     ///
+    /// On expiry the outcome is [`RunOutcome::Hung`] carrying a
+    /// structured [`HangDiagnosis`] (per-core stall reason, per-engine
+    /// outstanding work) rather than a bare timeout. Under an active
+    /// fault plane, a run whose engine was retired (poisoned) returns
+    /// early with the same diagnosis instead of burning the full budget.
+    ///
     /// # Panics
     ///
     /// Panics if no program was loaded.
@@ -533,8 +829,45 @@ impl System {
             if self.cores.iter().all(Core::is_halted) {
                 return RunOutcome::Finished(self.now);
             }
+            if let Some(chaos) = &self.chaos {
+                if chaos.retired.iter().any(|&r| r) {
+                    return RunOutcome::Hung(Box::new(self.hang_diagnosis()));
+                }
+            }
         }
-        RunOutcome::TimedOut(self.now)
+        RunOutcome::Hung(Box::new(self.hang_diagnosis()))
+    }
+
+    /// Snapshot of why the system is not making progress.
+    #[must_use]
+    pub fn hang_diagnosis(&self) -> HangDiagnosis {
+        HangDiagnosis {
+            at: self.now,
+            cores: self
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| CoreHang {
+                    core: i,
+                    state: c.state_label(),
+                    mmio_unacked: c.mmio_unacked(),
+                })
+                .collect(),
+            engines: self
+                .engines
+                .iter()
+                .enumerate()
+                .map(|(e, eng)| EngineHang {
+                    engine: e,
+                    queue_occupancy: eng.queue_occupancies(),
+                    outstanding_fetches: eng.inflight_fetches(),
+                    pending_produces: eng.pending_produces(),
+                    pending_consumes: eng.pending_consumes(),
+                    poisoned: eng.is_poisoned()
+                        || self.chaos.as_ref().is_some_and(|c| c.retired[e]),
+                })
+                .collect(),
+        }
     }
 
     /// Current simulated time.
@@ -579,6 +912,24 @@ impl System {
     #[must_use]
     pub fn mesh_stats(&self) -> &maple_noc::MeshStats {
         self.mesh.stats()
+    }
+
+    /// Driver-side chaos counters, when the fault plane is active.
+    #[must_use]
+    pub fn chaos_stats(&self) -> Option<&ChaosStats> {
+        self.chaos.as_ref().map(|c| &c.stats)
+    }
+
+    /// DRAM statistics (includes fault-plane latency spikes).
+    #[must_use]
+    pub fn dram_stats(&self) -> &maple_mem::dram::DramStats {
+        self.l2.dram_stats()
+    }
+
+    /// Whether engine `e` was retired by the driver after poisoning.
+    #[must_use]
+    pub fn engine_retired(&self, e: usize) -> bool {
+        self.chaos.as_ref().is_some_and(|c| c.retired[e])
     }
 
     /// Sampled occupancy distribution of engine `e`'s queue `q` (one

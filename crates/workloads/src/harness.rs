@@ -48,6 +48,58 @@ impl Variant {
     }
 }
 
+/// Fault-plane observability rolled into every run's stats: everything
+/// the chaos plane injected and everything the recovery machinery did
+/// about it. All-zero when no fault plane is installed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// NoC packets dropped by the plane.
+    pub noc_dropped: u64,
+    /// NoC packets given extra delay by the plane.
+    pub noc_delayed: u64,
+    /// DRAM accesses hit by a latency spike.
+    pub dram_spikes: u64,
+    /// Engine responses/acks dropped at the source.
+    pub acks_dropped: u64,
+    /// Engine memory fetches that overran their watchdog.
+    pub fetch_timeouts: u64,
+    /// Engine memory fetches re-issued after a timeout.
+    pub fetch_retries: u64,
+    /// Engine fetches abandoned after retry exhaustion (poison).
+    pub poisoned_fetches: u64,
+    /// Completed MMIO operations replayed from the dedup cache.
+    pub replayed_responses: u64,
+    /// Core-issued MMIO transactions that overran their watchdog.
+    pub mmio_timeouts: u64,
+    /// Core-issued MMIO transactions re-injected after a timeout.
+    pub mmio_retries: u64,
+    /// Scheduled mid-run engine RESETs delivered.
+    pub resets_injected: u64,
+    /// Randomly-timed TLB shootdowns delivered.
+    pub shootdowns_injected: u64,
+    /// Engines the driver retired after poisoning.
+    pub engines_poisoned: u64,
+}
+
+impl FaultReport {
+    /// Total faults the plane injected into this run.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.noc_dropped
+            + self.noc_delayed
+            + self.dram_spikes
+            + self.acks_dropped
+            + self.resets_injected
+            + self.shootdowns_injected
+    }
+
+    /// Total recovery actions taken (retries and replays).
+    #[must_use]
+    pub fn recovered(&self) -> u64 {
+        self.fetch_retries + self.mmio_retries + self.replayed_responses
+    }
+}
+
 /// Per-core diagnostic detail.
 #[derive(Debug, Clone, Copy)]
 pub struct CoreDetail {
@@ -88,6 +140,11 @@ pub struct RunStats {
     pub noc_injected: u64,
     /// Mesh packets delivered.
     pub noc_delivered: u64,
+    /// Whether the run ended in a structured hang diagnosis (watchdog
+    /// exhaustion / engine retirement) instead of finishing.
+    pub hung: bool,
+    /// Fault-plane and recovery counters (all zero without a plane).
+    pub faults: FaultReport,
 }
 
 impl RunStats {
@@ -156,6 +213,27 @@ pub fn finish(
         }
     }
     let mesh = sys.mesh_stats();
+    let mut faults = FaultReport {
+        noc_dropped: mesh.dropped.get(),
+        noc_delayed: mesh.delayed.get(),
+        dram_spikes: sys.dram_stats().spikes.get(),
+        ..FaultReport::default()
+    };
+    for ei in 0..sys.config().maples {
+        let es = sys.engine(ei).stats();
+        faults.acks_dropped += es.acks_dropped.get();
+        faults.fetch_timeouts += es.fetch_timeouts.get();
+        faults.fetch_retries += es.fetch_retries.get();
+        faults.poisoned_fetches += es.poisoned_fetches.get();
+        faults.replayed_responses += es.replayed_responses.get();
+    }
+    if let Some(c) = sys.chaos_stats() {
+        faults.mmio_timeouts = c.mmio_timeouts.get();
+        faults.mmio_retries = c.mmio_retries.get();
+        faults.resets_injected = c.resets_injected.get();
+        faults.shootdowns_injected = c.shootdowns_injected.get();
+        faults.engines_poisoned = c.engines_poisoned.get();
+    }
     RunStats {
         cycles: outcome.cycle().0,
         loads: sys.total_loads(),
@@ -174,6 +252,86 @@ pub fn finish(
         queues_drained,
         noc_injected: mesh.injected.get(),
         noc_delivered: mesh.delivered.get(),
+        hung: outcome.diagnosis().is_some(),
+        faults,
+    }
+}
+
+/// The graceful-degradation ladder for a requested variant: the variant
+/// itself, then software decoupling, then plain do-all. Software
+/// variants never touch a MAPLE engine, so a run that failed because an
+/// instance was poisoned/retired still completes bit-exact on them.
+#[must_use]
+pub fn fallback_ladder(requested: Variant) -> Vec<Variant> {
+    let mut ladder = vec![requested];
+    if !matches!(requested, Variant::SwDecoupled | Variant::Doall) {
+        ladder.push(Variant::SwDecoupled);
+    }
+    if requested != Variant::Doall {
+        ladder.push(Variant::Doall);
+    }
+    ladder
+}
+
+/// The result of [`run_with_fallback`]: every attempt in ladder order
+/// (the last one is the run whose output stands).
+#[derive(Debug)]
+pub struct FallbackOutcome {
+    /// The variant the caller originally asked for.
+    pub requested: Variant,
+    /// `(variant, stats)` for each attempt, in execution order.
+    pub attempts: Vec<(Variant, RunStats)>,
+}
+
+impl FallbackOutcome {
+    /// The variant whose output stands (last attempted).
+    #[must_use]
+    pub fn final_variant(&self) -> Variant {
+        self.attempts.last().expect("at least one attempt").0
+    }
+
+    /// Stats of the run whose output stands.
+    #[must_use]
+    pub fn final_stats(&self) -> &RunStats {
+        &self.attempts.last().expect("at least one attempt").1
+    }
+
+    /// Whether the harness had to degrade away from the requested
+    /// variant.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.attempts.len() > 1
+    }
+
+    /// Whether the standing output matched the host reference.
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        self.final_stats().verified
+    }
+}
+
+/// Runs `requested` and, when the run hangs or produces unverified
+/// output (poisoned engine, lost state after a mid-run reset, …), walks
+/// down [`fallback_ladder`] on a fresh system per attempt until a
+/// variant verifies. This is the driver-level graceful degradation: a
+/// failing MAPLE instance costs performance, never correctness.
+pub fn run_with_fallback(
+    requested: Variant,
+    threads: usize,
+    mut run: impl FnMut(Variant, usize) -> RunStats,
+) -> FallbackOutcome {
+    let mut attempts = Vec::new();
+    for variant in fallback_ladder(requested) {
+        let stats = run(variant, threads);
+        let verified = stats.verified;
+        attempts.push((variant, stats));
+        if verified {
+            break;
+        }
+    }
+    FallbackOutcome {
+        requested,
+        attempts,
     }
 }
 
@@ -233,12 +391,70 @@ mod tests {
             queues_drained: true,
             noc_injected: 0,
             noc_delivered: 0,
+            hung: false,
+            faults: FaultReport::default(),
         };
         let fast = RunStats {
             cycles: 500,
             ..base.clone()
         };
         assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_ends_in_doall_without_duplicates() {
+        for requested in [
+            Variant::MapleDecoupled,
+            Variant::MapleLima,
+            Variant::SwDecoupled,
+            Variant::Doall,
+            Variant::Desc,
+        ] {
+            let ladder = fallback_ladder(requested);
+            assert_eq!(ladder[0], requested);
+            assert_eq!(*ladder.last().unwrap(), Variant::Doall);
+            let mut dedup = ladder.clone();
+            dedup.dedup();
+            assert_eq!(dedup, ladder, "no duplicate rungs");
+        }
+    }
+
+    #[test]
+    fn fallback_stops_at_first_verified_variant() {
+        let stats = |verified| RunStats {
+            cycles: 100,
+            loads: 0,
+            mean_load_latency: 0.0,
+            verified,
+            cores: Vec::new(),
+            engine: (0, 0, 0, 0),
+            queue0_occupancy_mean: 0.0,
+            queues_produced: 0,
+            queues_consumed: 0,
+            queues_drained: true,
+            noc_injected: 0,
+            noc_delivered: 0,
+            hung: !verified,
+            faults: FaultReport::default(),
+        };
+        // Requested variant succeeds: no degradation.
+        let direct = run_with_fallback(Variant::MapleDecoupled, 2, |_, _| stats(true));
+        assert!(!direct.degraded() && direct.verified());
+        assert_eq!(direct.final_variant(), Variant::MapleDecoupled);
+        // Requested variant fails once: degrade exactly one rung.
+        let mut calls = 0;
+        let degraded = run_with_fallback(Variant::MapleDecoupled, 2, |v, _| {
+            calls += 1;
+            stats(v != Variant::MapleDecoupled)
+        });
+        assert!(degraded.degraded() && degraded.verified());
+        assert_eq!(degraded.final_variant(), Variant::SwDecoupled);
+        assert_eq!(calls, 2);
+        // Nothing verifies: every rung is attempted and recorded.
+        let hopeless = run_with_fallback(Variant::MapleDecoupled, 2, |_, _| stats(false));
+        assert!(!hopeless.verified());
+        assert_eq!(hopeless.attempts.len(), 3);
+        assert_eq!(hopeless.final_variant(), Variant::Doall);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! `(variant, threads)` pair on a fixed problem instance (see
 //! `tests/diff_oracle.rs` for the randomized drivers).
 
-use crate::harness::{RunStats, Variant};
+use crate::harness::{run_with_fallback, FallbackOutcome, RunStats, Variant};
+use maple_sim::fault::FaultPlaneConfig;
 
 /// The variant/thread-count grid the oracle exercises on every instance.
 pub const ORACLE_VARIANTS: [(Variant, usize); 5] = [
@@ -109,6 +110,177 @@ pub fn differential_check(
     Ok(())
 }
 
+// --- chaos oracle ----------------------------------------------------------
+
+/// A named fault schedule for the chaos grid.
+#[derive(Debug, Clone)]
+pub struct ChaosSchedule {
+    /// Stable name for reporting and seed-replay command lines.
+    pub name: &'static str,
+    /// The fault plane to install for the MAPLE attempt.
+    pub plane: FaultPlaneConfig,
+    /// Whether the schedule is deliberately unrecoverable: the MAPLE
+    /// attempt MUST fail structurally (hang diagnosis / poisoned engine)
+    /// and the harness MUST degrade to a software variant.
+    pub must_degrade: bool,
+}
+
+/// Extra cycle slack allowed for chaos runs on top of
+/// [`MAX_SLOWDOWN`] × do-all: every watchdog timeout stalls the victim
+/// for up to `timeout << retries` cycles, which has nothing to do with
+/// instance size.
+pub const CHAOS_SLOWDOWN_SLACK: u64 = 4_000_000;
+
+/// The named fault schedules of the chaos grid, derived deterministically
+/// from `seed` (same seed → bit-identical fault timing, replayable from
+/// the failure report).
+#[must_use]
+pub fn chaos_schedules(seed: u64) -> Vec<ChaosSchedule> {
+    vec![
+        ChaosSchedule {
+            name: "lossy-noc",
+            plane: FaultPlaneConfig::new(seed ^ 0x01)
+                .with_noc_drop(0.02)
+                .with_noc_delay(0.02, 200),
+            must_degrade: false,
+        },
+        ChaosSchedule {
+            name: "dram-storm",
+            plane: FaultPlaneConfig::new(seed ^ 0x02)
+                .with_dram_spikes(0.05, 400)
+                .with_tlb_shootdowns(2, 40_000),
+            must_degrade: false,
+        },
+        ChaosSchedule {
+            name: "reset-midrun",
+            plane: FaultPlaneConfig::new(seed ^ 0x03)
+                .with_engine_reset_at(5_000, 0)
+                .with_mmio_ack_loss(0.02),
+            must_degrade: false,
+        },
+        ChaosSchedule {
+            name: "ack-blackout",
+            plane: FaultPlaneConfig::new(seed ^ 0x04).with_mmio_ack_loss(1.0),
+            must_degrade: true,
+        },
+    ]
+}
+
+/// Runs one kernel under one fault schedule through the graceful-
+/// degradation ladder and checks the chaos invariants: the standing
+/// result is bit-exact (directly or via a recorded degradation), every
+/// injected fault and recovery action is visible in counters, failure is
+/// structural (diagnosis/poison, never a silent wrong answer), and the
+/// slowdown is bounded.
+///
+/// `run(variant, threads, plane)` must execute one run on a FRESH system,
+/// installing `plane` when given (the chaos plane is only handed to the
+/// originally requested variant; degraded software attempts run clean,
+/// as the driver has already retired the faulty instance).
+///
+/// # Errors
+///
+/// Returns the kernel name, schedule and the violated invariant.
+pub fn chaos_check(
+    kernel: &str,
+    schedule: &ChaosSchedule,
+    mut run: impl FnMut(Variant, usize, Option<&FaultPlaneConfig>) -> RunStats,
+) -> Result<(), String> {
+    let label = format!("{kernel}/{}", schedule.name);
+    // Clean do-all baseline for the slowdown bound.
+    let doall = run(Variant::Doall, 2, None);
+    check_run(&format!("{label}/doall-baseline"), &doall)?;
+
+    let outcome: FallbackOutcome = run_with_fallback(Variant::MapleDecoupled, 2, |v, t| {
+        let plane = (v == Variant::MapleDecoupled).then_some(&schedule.plane);
+        run(v, t, plane)
+    });
+
+    // Invariant 1: no silent wrong answers — the standing output is
+    // bit-exact, whether the MAPLE run recovered or the harness degraded.
+    if !outcome.verified() {
+        return Err(format!(
+            "{label}: no variant produced a verified result (attempts: {:?})",
+            outcome
+                .attempts
+                .iter()
+                .map(|(v, s)| (v.label(), s.verified, s.hung))
+                .collect::<Vec<_>>()
+        ));
+    }
+    let (_, maple) = &outcome.attempts[0];
+
+    // Invariant 2: the schedule actually struck, and every strike is
+    // visible in counters.
+    if maple.faults.injected() == 0 {
+        return Err(format!(
+            "{label}: fault schedule never struck ({:?})",
+            maple.faults
+        ));
+    }
+
+    // Invariant 3: failure is never silent. A MAPLE attempt that did not
+    // verify must leave evidence: a structured hang diagnosis, a
+    // poisoned engine, or injected-fault counters explaining the
+    // divergence (e.g. a mid-run reset that lost queue state). Combined
+    // with invariant 1, wrong data can never stand.
+    if !maple.verified
+        && !maple.hung
+        && maple.faults.engines_poisoned == 0
+        && maple.faults.resets_injected == 0
+    {
+        return Err(format!(
+            "{label}: MAPLE attempt failed without a diagnosis, poison or reset to explain it \
+             ({:?})",
+            maple.faults
+        ));
+    }
+
+    // Invariant 4: deliberately unrecoverable schedules degrade.
+    if schedule.must_degrade {
+        if maple.verified {
+            return Err(format!(
+                "{label}: schedule is unrecoverable by construction but the MAPLE run verified"
+            ));
+        }
+        if !maple.hung || maple.faults.engines_poisoned == 0 {
+            return Err(format!(
+                "{label}: unrecoverable schedule must end in a hang diagnosis with a poisoned \
+                 engine (hung={}, poisoned={})",
+                maple.hung, maple.faults.engines_poisoned
+            ));
+        }
+        if !outcome.degraded() {
+            return Err(format!("{label}: harness did not degrade"));
+        }
+    }
+
+    // Invariant 5: a recovered (non-degraded) run also satisfies the
+    // conservation laws, and its slowdown over do-all is bounded.
+    let fin = outcome.final_stats();
+    if !outcome.degraded() {
+        check_run(&label, fin)?;
+    }
+    let bound = doall
+        .cycles
+        .saturating_mul(MAX_SLOWDOWN)
+        .saturating_add(CHAOS_SLOWDOWN_SLACK);
+    if fin.cycles > bound {
+        return Err(format!(
+            "{label}: {} cycles exceeds chaos sanity bound {}",
+            fin.cycles, bound
+        ));
+    }
+    // NoC accounting holds even for failed attempts.
+    if maple.noc_delivered > maple.noc_injected {
+        return Err(format!(
+            "{label}: NoC delivered {} packets but only {} were injected",
+            maple.noc_delivered, maple.noc_injected
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +299,8 @@ mod tests {
             queues_drained: true,
             noc_injected: 100,
             noc_delivered: 100,
+            hung: false,
+            faults: crate::harness::FaultReport::default(),
         }
     }
 
@@ -184,6 +358,24 @@ mod tests {
             ..ok_stats()
         };
         assert!(check_cross(&doall, "t", &absurd).unwrap_err().contains("sanity bound"));
+    }
+
+    #[test]
+    fn chaos_schedules_are_named_unique_and_deterministic() {
+        let s = chaos_schedules(7);
+        assert!(s.len() >= 4, "grid floor: at least 4 schedules");
+        let mut names: Vec<_> = s.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), s.len(), "schedule names unique");
+        assert!(
+            s.iter().any(|c| c.must_degrade),
+            "the grid includes a deliberately unrecoverable schedule"
+        );
+        // Same seed → identical planes (seed-replayable grid).
+        for (a, b) in s.iter().zip(&chaos_schedules(7)) {
+            assert!(a.plane == b.plane);
+        }
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The fixed-seed chaos grid: every named fault schedule × every kernel,
+//! running MAPLE-decoupled through the graceful-degradation ladder and
+//! checking the chaos invariants (`maple_workloads::oracle::chaos_check`):
+//! the standing result is bit-exact — directly or via a recorded
+//! degradation to a software variant — every injected fault/retry/poison
+//! is visible in counters, and the deliberately unrecoverable schedule
+//! ends in a structured hang diagnosis, never a bare timeout or panic.
+//!
+//! Seeds are fixed so a failure replays exactly:
+//!     cargo test --offline -p maple-workloads --test chaos_oracle
+
+use maple_sim::fault::FaultPlaneConfig;
+use maple_workloads::bfs::Bfs;
+use maple_workloads::data::{dense_vector, uniform_sparse};
+use maple_workloads::harness::{RunStats, Variant};
+use maple_workloads::oracle::{chaos_check, chaos_schedules, ChaosSchedule};
+use maple_workloads::sdhp::Sdhp;
+use maple_workloads::spmv::Spmv;
+
+/// Master seed of the grid. Every schedule derives its fault timing from
+/// this; change it and every chaos run changes, keep it and every run is
+/// bit-identical.
+const GRID_SEED: u64 = 0xC0FF_EE00;
+
+/// Runs one `(variant, threads)` on a fresh system, installing `plane`
+/// when the oracle hands one down (MAPLE attempts only).
+fn run_spmv(inst: &Spmv, v: Variant, t: usize, plane: Option<&FaultPlaneConfig>) -> RunStats {
+    match plane {
+        Some(p) => {
+            let p = p.clone();
+            inst.run_tuned(v, t, move |c| c.with_fault_plane(p))
+        }
+        None => inst.run(v, t),
+    }
+}
+
+fn run_bfs(inst: &Bfs, v: Variant, t: usize, plane: Option<&FaultPlaneConfig>) -> RunStats {
+    match plane {
+        Some(p) => {
+            let p = p.clone();
+            inst.run_tuned(v, t, move |c| c.with_fault_plane(p))
+        }
+        None => inst.run(v, t),
+    }
+}
+
+fn run_sdhp(inst: &Sdhp, v: Variant, t: usize, plane: Option<&FaultPlaneConfig>) -> RunStats {
+    match plane {
+        Some(p) => {
+            let p = p.clone();
+            inst.run_tuned(v, t, move |c| c.with_fault_plane(p))
+        }
+        None => inst.run(v, t),
+    }
+}
+
+/// The recoverable slice of the grid (the unrecoverable schedule gets its
+/// own acceptance test below).
+fn recoverable_schedules() -> Vec<ChaosSchedule> {
+    chaos_schedules(GRID_SEED)
+        .into_iter()
+        .filter(|s| !s.must_degrade)
+        .collect()
+}
+
+#[test]
+fn chaos_grid_spmv() {
+    // Big enough that the gather is cache-averse and the run comfortably
+    // outlives the scheduled mid-run reset at cycle 5000.
+    let a = uniform_sparse(32, 8 * 1024, 6, GRID_SEED);
+    let x = dense_vector(8 * 1024, GRID_SEED ^ 0x51);
+    let inst = Spmv { a, x };
+    let schedules = recoverable_schedules();
+    assert!(schedules.len() >= 3, "grid floor: 3 recoverable schedules");
+    for schedule in &schedules {
+        chaos_check("spmv", schedule, |v, t, p| run_spmv(&inst, v, t, p))
+            .unwrap_or_else(|e| panic!("{e}\nreplay: GRID_SEED={GRID_SEED:#x}"));
+    }
+}
+
+#[test]
+fn chaos_grid_bfs() {
+    let graph = uniform_sparse(48, 48, 4, GRID_SEED ^ 0xB);
+    let root = (0..graph.nrows)
+        .find(|&r| !graph.row_range(r).is_empty())
+        .unwrap_or(0) as u32;
+    let inst = Bfs { graph, root };
+    for schedule in &recoverable_schedules() {
+        chaos_check("bfs", schedule, |v, t, p| run_bfs(&inst, v, t, p))
+            .unwrap_or_else(|e| panic!("{e}\nreplay: GRID_SEED={GRID_SEED:#x}"));
+    }
+}
+
+#[test]
+fn chaos_grid_sdhp() {
+    let a = uniform_sparse(32, 2048, 6, GRID_SEED ^ 0x5);
+    let inst = Sdhp::from_sparse(&a, GRID_SEED ^ 0x50);
+    for schedule in &recoverable_schedules() {
+        chaos_check("sdhp", schedule, |v, t, p| run_sdhp(&inst, v, t, p))
+            .unwrap_or_else(|e| panic!("{e}\nreplay: GRID_SEED={GRID_SEED:#x}"));
+    }
+}
+
+#[test]
+fn ack_blackout_degrades_with_diagnosis() {
+    // Acceptance criterion: 100% MMIO ack loss is unrecoverable by
+    // construction. chaos_check enforces the full contract: the MAPLE
+    // attempt ends hung with a poisoned engine (structured diagnosis,
+    // never a bare timeout), the harness degrades, and the degraded
+    // software run is bit-exact.
+    let a = uniform_sparse(24, 4 * 1024, 5, GRID_SEED ^ 0xAC);
+    let x = dense_vector(4 * 1024, GRID_SEED ^ 0xACC);
+    let inst = Spmv { a, x };
+    let blackout = chaos_schedules(GRID_SEED)
+        .into_iter()
+        .find(|s| s.must_degrade)
+        .expect("grid includes the unrecoverable schedule");
+    chaos_check("spmv", &blackout, |v, t, p| run_spmv(&inst, v, t, p))
+        .unwrap_or_else(|e| panic!("{e}\nreplay: GRID_SEED={GRID_SEED:#x}"));
+}

@@ -27,6 +27,14 @@ cargo build --offline --workspace --release
 echo "==> tier-1 gate: tests"
 cargo test --offline --workspace -q
 
+echo "==> chaos: fixed-seed fault-injection grid + generated schedules"
+# The grid (named schedules x kernels) is fully fixed-seed; the property
+# test generates MAPLE_CHAOS_CASES random schedules on top (default 6 —
+# raise it for long soak runs, e.g. MAPLE_CHAOS_CASES=200 scripts/ci.sh).
+cargo test --offline --release -p maple-workloads --test chaos_oracle -q
+MAPLE_CHAOS_CASES="${MAPLE_CHAOS_CASES:-6}" \
+    cargo test --offline --release -p maple-workloads --test chaos_prop -q
+
 echo "==> lint: clippy, warnings are errors"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
