@@ -4,15 +4,16 @@
 //! 2.27× over software-only decoupling — software decoupling alone is
 //! *slower* than do-all on in-order cores.
 
-use maple_bench::experiments::{decoupling_suite, find};
-use maple_bench::{print_banner, SpeedupTable};
+use maple_bench::experiments::{decoupling_suite, find, stall_rows_by_variant};
+use maple_bench::{FigureReport, SpeedupTable};
 
 fn main() {
-    print_banner(
+    let rows = decoupling_suite();
+    let mut report = FigureReport::new(
+        "fig08",
         "Figure 8 — decoupling (1 Access + 1 Execute) vs 2-thread do-all",
         "MAPLE 1.51x geomean over doall; 2.27x over software decoupling",
     );
-    let rows = decoupling_suite();
     let mut table = SpeedupTable::new(&["doall", "sw-dec", "maple-dec"]);
     let mut sw_ratio = Vec::new();
     for (app, ds) in maple_bench::experiments::app_datasets() {
@@ -29,11 +30,15 @@ fn main() {
         );
         sw_ratio.push(sw.cycles as f64 / maple.cycles as f64);
     }
-    table.print();
-    println!(
-        "\nMAPLE over software decoupling (geomean): {:.2}x   [paper: 2.27x]",
-        maple_sim::stats::geomean(&sw_ratio)
-    );
     let g = table.geomeans();
-    println!("MAPLE over doall (geomean):               {:.2}x   [paper: 1.51x]", g[2]);
+    report.line(
+        "MAPLE over software decoupling (geomean)",
+        maple_sim::stats::geomean(&sw_ratio),
+        "x",
+        "2.27x",
+    );
+    report.line("MAPLE over doall (geomean)", g[2], "x", "1.51x");
+    report.table = Some(table);
+    report.stalls = stall_rows_by_variant(&rows, &["doall", "sw-dec", "maple-dec"]);
+    report.emit();
 }

@@ -3,15 +3,16 @@
 //! Paper result: MAPLE's LIMA achieves 1.73× geomean over no prefetching
 //! (up to 2.4× on SPMV) and 2.35× over software prefetching.
 
-use maple_bench::experiments::{find, prefetch_suite};
-use maple_bench::{print_banner, SpeedupTable};
+use maple_bench::experiments::{find, prefetch_suite, stall_rows_by_variant};
+use maple_bench::{FigureReport, SpeedupTable};
 
 fn main() {
-    print_banner(
+    let rows = prefetch_suite();
+    let mut report = FigureReport::new(
+        "fig09",
         "Figure 9 — prefetching IMAs, single thread",
         "LIMA 1.73x geomean over no-prefetch (2.4x SPMV); 2.35x over sw-prefetch",
     );
-    let rows = prefetch_suite();
     let mut table = SpeedupTable::new(&["no-pref", "sw-pref", "maple-lima"]);
     let mut vs_sw = Vec::new();
     for (app, ds) in maple_bench::experiments::app_datasets() {
@@ -28,14 +29,15 @@ fn main() {
         );
         vs_sw.push(sw.cycles as f64 / lima.cycles as f64);
     }
-    table.print();
     let g = table.geomeans();
-    println!(
-        "\nLIMA over no prefetching (geomean):  {:.2}x   [paper: 1.73x]",
-        g[2]
+    report.line("LIMA over no prefetching (geomean)", g[2], "x", "1.73x");
+    report.line(
+        "LIMA over software prefetching (geomean)",
+        maple_sim::stats::geomean(&vs_sw),
+        "x",
+        "2.35x",
     );
-    println!(
-        "LIMA over software prefetching:      {:.2}x   [paper: 2.35x]",
-        maple_sim::stats::geomean(&vs_sw)
-    );
+    report.table = Some(table);
+    report.stalls = stall_rows_by_variant(&rows, &["doall", "sw-pref", "maple-lima"]);
+    report.emit();
 }

@@ -5,15 +5,16 @@
 //! instructions (the re-computed indices), while MAPLE *reduces* them
 //! slightly — wide consumes pop two 32-bit words per load.
 
-use maple_bench::experiments::{find, prefetch_suite};
-use maple_bench::{print_banner, SpeedupTable};
+use maple_bench::experiments::{find, prefetch_suite, stall_rows_by_variant};
+use maple_bench::{FigureReport, SpeedupTable};
 
 fn main() {
-    print_banner(
+    let rows = prefetch_suite();
+    let mut report = FigureReport::new(
+        "fig10",
         "Figure 10 — normalized load-instruction count (single thread)",
         "sw-prefetch ≈ 2x loads; MAPLE slightly below 1x",
     );
-    let rows = prefetch_suite();
     let mut table = SpeedupTable::new(&["no-pref", "sw-pref", "maple-lima"]);
     for (app, ds) in maple_bench::experiments::app_datasets() {
         let base = find(&rows, &app, &ds, "doall");
@@ -28,14 +29,10 @@ fn main() {
             ],
         );
     }
-    table.print();
     let g = table.geomeans();
-    println!(
-        "\nsw-prefetch load overhead (geomean): {:.2}x   [paper: ~2x]",
-        g[1]
-    );
-    println!(
-        "MAPLE load count (geomean):          {:.2}x   [paper: slightly < 1x]",
-        g[2]
-    );
+    report.line("sw-prefetch load overhead (geomean)", g[1], "x", "~2x");
+    report.line("MAPLE load count (geomean)", g[2], "x", "slightly < 1x");
+    report.table = Some(table);
+    report.stalls = stall_rows_by_variant(&rows, &["doall", "sw-pref", "maple-lima"]);
+    report.emit();
 }

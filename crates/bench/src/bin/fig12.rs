@@ -6,16 +6,17 @@
 //! SPMM slicer falls back to do-all; MAPLE reaches ≥76 % of DeSC on the
 //! decoupling-friendly kernels.
 
-use maple_bench::experiments::{find, prior_work_suite};
-use maple_bench::{print_banner, SpeedupTable};
+use maple_bench::experiments::{find, prior_work_suite, stall_rows_by_variant};
+use maple_bench::{FigureReport, SpeedupTable};
 use maple_sim::stats::geomean;
 
 fn main() {
-    print_banner(
+    let rows = prior_work_suite();
+    let mut report = FigureReport::new(
+        "fig12",
         "Figure 12 — prior-work comparison (2 threads)",
         "MAPLE 1.72x over DeSC, 1.82x over DROPLET; up to 3x over doall on BFS",
     );
-    let rows = prior_work_suite();
     let mut table = SpeedupTable::new(&["doall", "droplet", "desc", "maple-dec"]);
     let (mut vs_desc, mut vs_droplet) = (Vec::new(), Vec::new());
     for (app, ds) in maple_bench::experiments::app_datasets() {
@@ -35,13 +36,15 @@ fn main() {
         vs_desc.push(desc.cycles as f64 / maple.cycles as f64);
         vs_droplet.push(droplet.cycles as f64 / maple.cycles as f64);
     }
-    table.print();
-    println!(
-        "\nMAPLE over DeSC (geomean):    {:.2}x   [paper: 1.72x]",
-        geomean(&vs_desc)
+    report.line("MAPLE over DeSC (geomean)", geomean(&vs_desc), "x", "1.72x");
+    report.line(
+        "MAPLE over DROPLET (geomean)",
+        geomean(&vs_droplet),
+        "x",
+        "1.82x",
     );
-    println!(
-        "MAPLE over DROPLET (geomean): {:.2}x   [paper: 1.82x]",
-        geomean(&vs_droplet)
-    );
+    report.table = Some(table);
+    report.stalls =
+        stall_rows_by_variant(&rows, &["doall", "droplet", "desc", "maple-dec"]);
+    report.emit();
 }

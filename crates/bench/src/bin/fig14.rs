@@ -5,77 +5,63 @@
 //! per NoC hop — similar to an L2 access and an order of magnitude below
 //! DRAM.
 
-use maple_bench::print_banner;
-use maple_isa::builder::ProgramBuilder;
+use maple_bench::rtt::measure_roundtrip;
+use maple_bench::FigureReport;
 use maple_soc::config::SocConfig;
-use maple_soc::runtime::MapleApi;
-use maple_soc::system::System;
-
-/// Measures the mean consume latency for back-to-back consumes of
-/// pre-produced data.
-fn measure_roundtrip(cfg: SocConfig) -> f64 {
-    let mut sys = System::new(cfg);
-    let maple_va = sys.map_maple(0);
-    // Must fit in one 32-entry queue: produces precede all consumes.
-    let reps = 24u64;
-    let mut b = ProgramBuilder::new();
-    let base = b.reg("maple");
-    let v = b.reg("v");
-    let i = b.reg("i");
-    let api = MapleApi::new(base);
-    b.li(v, 1);
-    for _ in 0..reps {
-        api.produce(&mut b, 0, v);
-    }
-    // Drain the produce acks before timing.
-    for _ in 0..200 {
-        b.nop();
-    }
-    b.li(i, 0);
-    let top = b.here("top");
-    let done = b.label("done");
-    b.bge(i, reps as i64, done);
-    api.consume(&mut b, 0, v, 4);
-    b.addi(i, i, 1);
-    b.jump(top);
-    b.bind(done);
-    b.halt();
-    let core = sys.load_program(b.build().unwrap(), &[(base, maple_va.0)]);
-    assert!(sys.run(10_000_000).is_finished());
-    // The L1 latency histogram holds exactly the consume loads.
-    let _ = core;
-    sys.mean_load_latency()
-}
 
 fn main() {
-    print_banner(
+    let mut report = FigureReport::new(
+        "fig14",
         "Figure 14 — core-to-MAPLE round-trip latency breakdown",
         "≈25 cycles + 1 per hop; similar to L2, ~10x below DRAM",
     );
     let cfg = SocConfig::fpga_prototype();
-    println!("modelled step breakdown (one way and back):");
-    println!("  L1 miss handling + core retire     {:>3} cy", 2 * cfg.cpu.l1.hit_latency);
-    println!("  tile uncore (L1.5 + NoC codec) x2  {:>3} cy", 2 * cfg.uncore_latency);
-    println!("  NoC hops (adjacent tiles) x2       {:>3} cy", 2);
-    println!("  MAPLE decode pipeline              {:>3} cy", cfg.maple.decode_latency);
-    println!("  MAPLE consume + respond            {:>3} cy", cfg.maple.respond_latency);
     let modelled = 2 * cfg.cpu.l1.hit_latency
         + 2 * cfg.uncore_latency
         + 2
         + cfg.maple.decode_latency
         + cfg.maple.respond_latency;
+    let rtt = measure_roundtrip(cfg.clone());
+    let dram = cfg.l2.latency + cfg.dram.latency;
+
+    report.line("modelled round trip", modelled as f64, "cy", "~25 + hops");
+    report.line(
+        "measured mean consume round trip",
+        rtt.mean_rtt,
+        "cy",
+        "~25 + hops",
+    );
+    report.line(
+        "DRAM access for comparison",
+        dram as f64,
+        "cy",
+        "~10x slower than the round trip",
+    );
+    report.stalls = rtt.stalls;
+    report.emit();
+
+    println!("\nmodelled step breakdown (one way and back):");
+    println!(
+        "  L1 miss handling + core retire     {:>3} cy",
+        2 * cfg.cpu.l1.hit_latency
+    );
+    println!(
+        "  tile uncore (L1.5 + NoC codec) x2  {:>3} cy",
+        2 * cfg.uncore_latency
+    );
+    println!("  NoC hops (adjacent tiles) x2       {:>3} cy", 2);
+    println!(
+        "  MAPLE decode pipeline              {:>3} cy",
+        cfg.maple.decode_latency
+    );
+    println!(
+        "  MAPLE consume + respond            {:>3} cy",
+        cfg.maple.respond_latency
+    );
     println!("  ------------------------------------------");
     println!("  modelled total                     {modelled:>3} cy");
-
-    let measured = measure_roundtrip(cfg.clone());
-    println!("\nmeasured mean consume round trip:    {measured:>5.1} cy   [paper: ~25 + hops]");
-    println!(
-        "DRAM access for comparison:          {:>5} cy   ({:.0}x slower)",
-        cfg.l2.latency + cfg.dram.latency,
-        (cfg.l2.latency + cfg.dram.latency) as f64 / measured
-    );
     assert!(
-        (15.0..45.0).contains(&measured),
+        (15.0..45.0).contains(&rtt.mean_rtt),
         "round trip should be L2-scale"
     );
 }

@@ -4,11 +4,13 @@
 //! the figure sweeps the average round-trip latency.
 
 use maple_bench::instances;
-use maple_bench::{print_banner, SpeedupTable};
+use maple_bench::{FigureReport, SpeedupTable};
+use maple_trace::StallRow;
 use maple_workloads::Variant;
 
 fn main() {
-    print_banner(
+    let mut report = FigureReport::new(
+        "fig15",
         "Figure 15 — speedup vs core-to-MAPLE round-trip latency",
         "lower NoC delay → greater decoupling benefit",
     );
@@ -21,36 +23,45 @@ fn main() {
     let labels: Vec<String> = sweep.iter().map(|(_, l)| format!("rtt {l}")).collect();
     let cols: Vec<&str> = labels.iter().map(String::as_str).collect();
     let mut table = SpeedupTable::new(&cols);
+    let mut stalls: Vec<StallRow> = Vec::new();
 
     {
         let mut cells = Vec::new();
-        for (extra, _) in sweep {
+        for (extra, rtt) in sweep {
             eprintln!("[fig15] spmv extra={extra}...");
             let doall = spmv.run(Variant::Doall, 2).cycles;
-            let maple = spmv
-                .run_tuned(Variant::MapleDecoupled, 2, |c| {
-                    c.with_maple_extra_latency(extra)
-                })
-                .cycles;
-            cells.push(doall as f64 / maple as f64);
+            let maple = spmv.run_tuned(Variant::MapleDecoupled, 2, |c| {
+                c.with_maple_extra_latency(extra)
+            });
+            cells.push(doall as f64 / maple.cycles as f64);
+            stalls.push(StallRow {
+                label: format!("spmv maple rtt {rtt}"),
+                core_cycles: maple.core_cycles,
+                breakdown: maple.stall,
+            });
         }
         table.add_row("spmv/riscv-s", cells);
     }
     {
         let mut cells = Vec::new();
-        for (extra, _) in sweep {
+        for (extra, rtt) in sweep {
             eprintln!("[fig15] sdhp extra={extra}...");
             let doall = sdhp.run(Variant::Doall, 2).cycles;
-            let maple = sdhp
-                .run_tuned(Variant::MapleDecoupled, 2, |c| {
-                    c.with_maple_extra_latency(extra)
-                })
-                .cycles;
-            cells.push(doall as f64 / maple as f64);
+            let maple = sdhp.run_tuned(Variant::MapleDecoupled, 2, |c| {
+                c.with_maple_extra_latency(extra)
+            });
+            cells.push(doall as f64 / maple.cycles as f64);
+            stalls.push(StallRow {
+                label: format!("sdhp maple rtt {rtt}"),
+                core_cycles: maple.core_cycles,
+                breakdown: maple.stall,
+            });
         }
         table.add_row("sdhp/suitesparse", cells);
     }
 
-    table.print();
+    report.table = Some(table);
+    report.stalls = stalls;
+    report.emit();
     println!("\n(cells: MAPLE-decoupled speedup over 2-thread do-all at each RTT)");
 }

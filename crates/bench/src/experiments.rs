@@ -8,6 +8,7 @@
 use std::fs;
 use std::path::PathBuf;
 
+use maple_trace::{StallBreakdown, StallRow};
 use maple_workloads::{RunStats, Variant};
 
 use crate::instances;
@@ -29,6 +30,12 @@ pub struct Measurement {
     pub load_latency: f64,
     /// Result matched the host reference.
     pub verified: bool,
+    /// Total core cycles backing the stall attribution; `None` for rows
+    /// loaded from a pre-stall-attribution cache file.
+    pub core_cycles: Option<u64>,
+    /// Aggregate stall attribution across cores; `None` for rows loaded
+    /// from a pre-stall-attribution cache file.
+    pub stall: Option<StallBreakdown>,
 }
 
 impl Measurement {
@@ -41,11 +48,13 @@ impl Measurement {
             loads: s.loads,
             load_latency: s.mean_load_latency,
             verified: s.verified,
+            core_cycles: Some(s.core_cycles),
+            stall: Some(s.stall),
         }
     }
 
     fn to_tsv(&self) -> String {
-        format!(
+        let mut line = format!(
             "{}\t{}\t{}\t{}\t{}\t{}\t{}",
             self.app,
             self.dataset,
@@ -54,14 +63,41 @@ impl Measurement {
             self.loads,
             self.load_latency,
             self.verified
-        )
+        );
+        if let (Some(cc), Some(st)) = (self.core_cycles, self.stall) {
+            line.push_str(&format!("\t{cc}"));
+            for (_, v) in st.buckets() {
+                line.push_str(&format!("\t{v}"));
+            }
+        }
+        line
     }
 
+    /// Parses a cache row. Lenient on width: the original 7-field format
+    /// (before stall attribution existed) still parses, with the stall
+    /// columns reported as `None`.
     fn from_tsv(line: &str) -> Option<Self> {
         let f: Vec<&str> = line.split('\t').collect();
-        if f.len() != 7 {
+        if f.len() != 7 && f.len() != 14 {
             return None;
         }
+        let (core_cycles, stall) = if f.len() == 14 {
+            let vals: Vec<u64> = f[7..14]
+                .iter()
+                .map(|s| s.parse().ok())
+                .collect::<Option<_>>()?;
+            let st = StallBreakdown {
+                l1_miss: vals[1],
+                l2_miss: vals[2],
+                dram: vals[3],
+                consume_wait: vals[4],
+                mmio: vals[5],
+                fault_recovery: vals[6],
+            };
+            (Some(vals[0]), Some(st))
+        } else {
+            (None, None)
+        };
         Some(Measurement {
             app: f[0].into(),
             dataset: f[1].into(),
@@ -70,6 +106,8 @@ impl Measurement {
             loads: f[4].parse().ok()?,
             load_latency: f[5].parse().ok()?,
             verified: f[6].parse().ok()?,
+            core_cycles,
+            stall,
         })
     }
 
@@ -244,6 +282,35 @@ pub fn prior_work_suite() -> Vec<Measurement> {
         ]),
         run_case,
     )
+}
+
+/// Aggregates measurements into one stall-attribution row per variant
+/// (summed across every workload/dataset). Rows loaded from cache files
+/// predating stall attribution carry no breakdown and are skipped; if no
+/// row has one, the result is empty and callers print nothing.
+#[must_use]
+pub fn stall_rows_by_variant(rows: &[Measurement], variants: &[&str]) -> Vec<StallRow> {
+    let mut out = Vec::new();
+    for v in variants {
+        let mut cycles = 0u64;
+        let mut total = StallBreakdown::default();
+        let mut any = false;
+        for m in rows.iter().filter(|m| m.variant == *v) {
+            if let (Some(cc), Some(st)) = (m.core_cycles, m.stall) {
+                cycles += cc;
+                total.merge(&st);
+                any = true;
+            }
+        }
+        if any {
+            out.push(StallRow {
+                label: (*v).to_owned(),
+                core_cycles: cycles,
+                breakdown: total,
+            });
+        }
+    }
+    out
 }
 
 /// Finds a measurement.

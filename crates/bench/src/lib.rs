@@ -10,5 +10,6 @@
 pub mod experiments;
 pub mod instances;
 pub mod report;
+pub mod rtt;
 
-pub use report::{print_banner, SpeedupTable};
+pub use report::{print_banner, FigureReport, SpeedupTable};

@@ -1,6 +1,15 @@
-//! Result-table rendering shared by the figure binaries.
+//! Result rendering shared by the figure binaries.
+//!
+//! Every `fig*` binary funnels its results through one [`FigureReport`]:
+//! the text table on stdout, the JSON sidecar in `results/<figure>.json`,
+//! and the aggregate `BENCH_maple.json` (see the `bench_summary` binary)
+//! are all views of the same structure, so they can never drift apart.
+
+use std::fs;
+use std::path::PathBuf;
 
 use maple_sim::stats::geomean;
+use maple_trace::{stall_json, stall_table, Json, StallRow};
 
 /// Prints the figure banner.
 pub fn print_banner(figure: &str, paper_claim: &str) {
@@ -16,6 +25,7 @@ pub fn print_banner(figure: &str, paper_claim: &str) {
 pub struct SpeedupTable {
     columns: Vec<String>,
     rows: Vec<(String, Vec<f64>)>,
+    unit: Option<String>,
 }
 
 impl SpeedupTable {
@@ -25,7 +35,17 @@ impl SpeedupTable {
         SpeedupTable {
             columns: columns.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
+            unit: None,
         }
+    }
+
+    /// Switches the cell unit from the default speedup ratio (`x`) to
+    /// another suffix (`cy` for the Figure 11 latency view). Non-ratio
+    /// tables omit the geomean footer.
+    #[must_use]
+    pub fn with_unit(mut self, unit: &str) -> Self {
+        self.unit = Some(unit.to_owned());
+        self
     }
 
     /// Adds a row of speedups (same order as the columns).
@@ -46,7 +66,13 @@ impl SpeedupTable {
             .collect()
     }
 
-    /// Renders the table with a geomean footer.
+    /// The column labels.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Renders the table; ratio tables get a geomean footer.
     pub fn print(&self) {
         print!("{:<22}", "workload");
         for c in &self.columns {
@@ -56,16 +82,203 @@ impl SpeedupTable {
         for (label, values) in &self.rows {
             print!("{label:<22}");
             for v in values {
-                print!("{v:>11.2}x");
+                match &self.unit {
+                    None => print!("{v:>11.2}x"),
+                    Some(u) => print!("{v:>10.1}{u}"),
+                }
             }
             println!();
         }
-        print!("{:<22}", "geomean");
-        for g in self.geomeans() {
-            print!("{g:>11.2}x");
+        if self.unit.is_none() {
+            print!("{:<22}", "geomean");
+            for g in self.geomeans() {
+                print!("{g:>11.2}x");
+            }
+            println!();
         }
-        println!();
     }
+
+    /// JSON form: columns, per-row cells, and (for ratio tables) the
+    /// geomean footer.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            (
+                "unit",
+                Json::from(self.unit.clone().unwrap_or_else(|| "x".to_owned())),
+            ),
+            (
+                "columns",
+                Json::Array(self.columns.iter().map(|c| Json::from(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Array(
+                    self.rows
+                        .iter()
+                        .map(|(label, values)| {
+                            Json::obj(vec![
+                                ("workload", Json::from(label.clone())),
+                                (
+                                    "values",
+                                    Json::Array(values.iter().map(|&v| Json::from(v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if self.unit.is_none() {
+            members.push((
+                "geomeans",
+                Json::Array(self.geomeans().into_iter().map(Json::from).collect()),
+            ));
+        }
+        Json::obj(members)
+    }
+}
+
+/// One headline number printed under a figure's table (a geomean, a
+/// latency) next to the paper's claimed value.
+#[derive(Debug, Clone)]
+pub struct SummaryLine {
+    /// What the number is.
+    pub label: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit suffix in the text rendering (`"x"`, `"cy"`).
+    pub unit: String,
+    /// The paper's claim, quoted alongside.
+    pub paper: String,
+}
+
+/// The single renderer behind every figure binary: one structure, three
+/// views (stdout text, `results/<figure>.json` sidecar, and the
+/// aggregate `BENCH_maple.json`).
+#[derive(Debug, Default)]
+pub struct FigureReport {
+    /// Short slug (`fig08`) naming the sidecar file.
+    pub figure: String,
+    /// Human title printed in the banner.
+    pub title: String,
+    /// The paper's claimed result.
+    pub paper: String,
+    /// The main speedup/ratio table, when the figure has one.
+    pub table: Option<SpeedupTable>,
+    /// Headline numbers printed under the table.
+    pub lines: Vec<SummaryLine>,
+    /// Stall-attribution rows (ours; not in the paper), when available.
+    pub stalls: Vec<StallRow>,
+}
+
+impl FigureReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(figure: &str, title: &str, paper: &str) -> Self {
+        FigureReport {
+            figure: figure.into(),
+            title: title.into(),
+            paper: paper.into(),
+            ..FigureReport::default()
+        }
+    }
+
+    /// Adds a headline number.
+    pub fn line(&mut self, label: &str, value: f64, unit: &str, paper: &str) {
+        self.lines.push(SummaryLine {
+            label: label.into(),
+            value,
+            unit: unit.into(),
+            paper: paper.into(),
+        });
+    }
+
+    /// Renders the text view to stdout.
+    pub fn print(&self) {
+        print_banner(&self.title, &self.paper);
+        if let Some(t) = &self.table {
+            t.print();
+        }
+        if !self.lines.is_empty() {
+            println!();
+            let width = self.lines.iter().map(|l| l.label.len()).max().unwrap_or(0);
+            for l in &self.lines {
+                println!(
+                    "{:<width$}  {:>7.2}{}   [paper: {}]",
+                    l.label, l.value, l.unit, l.paper
+                );
+            }
+        }
+        if !self.stalls.is_empty() {
+            println!("\nStall attribution (ours):");
+            print!("{}", stall_table(&self.stalls));
+        }
+    }
+
+    /// The JSON view backing the sidecar and the aggregate summary.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut members = vec![
+            ("figure", Json::from(self.figure.clone())),
+            ("title", Json::from(self.title.clone())),
+            ("paper", Json::from(self.paper.clone())),
+        ];
+        if let Some(t) = &self.table {
+            members.push(("table", t.to_json()));
+        }
+        if !self.lines.is_empty() {
+            members.push((
+                "summary",
+                Json::Array(
+                    self.lines
+                        .iter()
+                        .map(|l| {
+                            Json::obj(vec![
+                                ("label", Json::from(l.label.clone())),
+                                ("value", Json::from(l.value)),
+                                ("unit", Json::from(l.unit.clone())),
+                                ("paper", Json::from(l.paper.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.stalls.is_empty() {
+            members.push(("stall_attribution", stall_json(&self.stalls)));
+        }
+        Json::obj(members)
+    }
+
+    /// Writes the JSON sidecar to `results/<figure>.json` (next to the
+    /// checked-in `results/<figure>.txt` transcripts) and reports the
+    /// path on stderr. Errors are reported, not fatal: figures still
+    /// print on a read-only checkout.
+    pub fn write_sidecar(&self) {
+        let path = results_path(&format!("{}.json", self.figure));
+        match fs::write(&path, self.to_json().render_pretty() + "\n") {
+            Ok(()) => eprintln!("[{}] sidecar written to {}", self.figure, path.display()),
+            Err(e) => eprintln!("[{}] sidecar write failed: {e}", self.figure),
+        }
+    }
+
+    /// Prints the text view and writes the JSON sidecar — the standard
+    /// tail of every figure binary.
+    pub fn emit(&self) {
+        self.print();
+        self.write_sidecar();
+    }
+}
+
+/// Path of a file inside the repository's `results/` directory.
+#[must_use]
+pub fn results_path(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("../../results");
+    let _ = fs::create_dir_all(&p);
+    p.push(name);
+    p
 }
 
 #[cfg(test)]
@@ -88,5 +301,24 @@ mod tests {
     fn row_arity_checked() {
         let mut t = SpeedupTable::new(&["a"]);
         t.add_row("w", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut r = FigureReport::new("figXX", "Test figure", "claim");
+        let mut t = SpeedupTable::new(&["base", "ours"]);
+        t.add_row("w1", vec![1.0, 2.0]);
+        r.table = Some(t);
+        r.line("ours over base (geomean)", 2.0, "x", "2.1x");
+        let j = r.to_json();
+        let parsed = Json::parse(&j.render()).unwrap();
+        assert_eq!(parsed, j);
+        let table = parsed.get("table").unwrap();
+        let g = table.get("geomeans").unwrap().as_array().unwrap();
+        assert!((g[1].as_f64().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(
+            parsed.get("figure").and_then(|f| f.as_str()),
+            Some("figXX")
+        );
     }
 }

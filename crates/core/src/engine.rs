@@ -23,13 +23,14 @@
 use std::collections::{HashMap, VecDeque};
 
 use maple_mem::l2::OutboundResp;
-use maple_mem::msg::{MemReq, MemReqKind, MemResp};
+use maple_mem::msg::{MemReq, MemReqKind, MemResp, ServedBy};
 use maple_mem::phys::{PAddr, PhysMem, LINE_SIZE};
 use maple_noc::Coord;
 use maple_sim::fault::{FaultSchedule, WatchdogConfig};
 use maple_sim::link::DelayQueue;
 use maple_sim::stats::Counter;
 use maple_sim::Cycle;
+use maple_trace::{FaultSite, TraceEvent, Tracer};
 use maple_vm::page_table::{PageFault, PageTable};
 use maple_vm::tlb::Tlb;
 use maple_vm::walker::walk_latency;
@@ -261,6 +262,9 @@ pub struct Engine {
     /// Set when a fetch exhausted its retries; the driver must reset or
     /// retire this instance.
     poisoned: bool,
+    tracer: Tracer,
+    /// Engine index used in trace events (set alongside the tracer).
+    trace_id: usize,
 }
 
 impl Engine {
@@ -304,8 +308,17 @@ impl Engine {
             watchdog: None,
             ack_fault: None,
             poisoned: false,
+            tracer: Tracer::disabled(),
+            trace_id: 0,
             cfg,
         }
+    }
+
+    /// Installs an observability tracer and the engine index to label
+    /// events with. Tracing never changes timing.
+    pub fn set_tracer(&mut self, id: usize, tracer: Tracer) {
+        self.trace_id = id;
+        self.tracer = tracer;
     }
 
     /// The engine configuration.
@@ -405,7 +418,11 @@ impl Engine {
         let seen_order = std::mem::take(&mut self.seen_order);
         let watchdog = self.watchdog;
         let ack_fault = self.ack_fault.take();
+        let tracer = self.tracer.clone();
+        let trace_id = self.trace_id;
         *self = Engine::new(cfg);
+        self.tracer = tracer;
+        self.trace_id = trace_id;
         self.page_table = root;
         self.stats = stats;
         self.next_txid = next_txid;
@@ -463,11 +480,15 @@ impl Engine {
     /// Responses for unknown transactions — possible after a `RESET`
     /// dropped the in-flight state while replies were still crossing the
     /// NoC — are counted and discarded, as the RTL's decoder does.
-    pub fn on_mem_resp(&mut self, _now: Cycle, resp: MemResp, mem: &PhysMem) {
+    pub fn on_mem_resp(&mut self, now: Cycle, resp: MemResp, mem: &PhysMem) {
         let Some(f) = self.inflight.remove(&resp.id) else {
             self.stats.stale_responses.inc();
             return;
         };
+        self.tracer.emit(now, || TraceEvent::EngineFetchFill {
+            engine: self.trace_id,
+            latency: now.since(f.issued),
+        });
         match f.purpose {
             FetchPurpose::QueueFill { q, slot, .. } => {
                 let _ = mem; // data travels in the response
@@ -518,6 +539,9 @@ impl Engine {
         if let Some(f) = &mut self.ack_fault {
             if f.strike() {
                 self.stats.acks_dropped.inc();
+                self.tracer.emit(now, || TraceEvent::FaultInjected {
+                    site: FaultSite::MmioAckDrop,
+                });
                 return;
             }
         }
@@ -526,7 +550,11 @@ impl Engine {
             self.cfg.respond_latency,
             OutboundResp {
                 dst,
-                resp: MemResp { id, data },
+                resp: MemResp {
+                    id,
+                    data,
+                    served_by: ServedBy::Device,
+                },
                 flits: MemResp::flits(false),
             },
         );
@@ -843,8 +871,21 @@ impl Engine {
         self.track_fetch(now, FetchPurpose::QueueFill { q, slot }, req);
     }
 
+    /// Emits a queue-occupancy sample after a push or slot reservation.
+    fn trace_queue_push(&self, now: Cycle, q: u8) {
+        self.tracer.emit(now, || TraceEvent::QueuePush {
+            engine: self.trace_id,
+            queue: usize::from(q),
+            occupancy: self.queues.queue(q).occupancy(),
+        });
+    }
+
     /// Records an outstanding fetch (for the watchdog) and issues it.
     fn track_fetch(&mut self, now: Cycle, purpose: FetchPurpose, req: MemReq) {
+        self.tracer.emit(now, || TraceEvent::EngineFetchIssue {
+            engine: self.trace_id,
+            addr: req.addr.0,
+        });
         self.inflight.insert(
             req.id,
             InflightFetch {
@@ -895,6 +936,9 @@ impl Engine {
                 f.issued = now;
                 let req = f.req;
                 self.stats.fetch_retries.inc();
+                self.tracer.emit(now, || TraceEvent::FaultRecovered {
+                    site: FaultSite::FetchRetry,
+                });
                 self.out_mem.push_back(req);
             }
         }
@@ -916,6 +960,7 @@ impl Engine {
                         .queue_mut(q)
                         .push(v)
                         .expect("checked not full");
+                    self.trace_queue_push(now, q);
                     self.produce_pending[qi].pop_front();
                     self.respond(now, head.ack_dst, head.ack_id, 0);
                 }
@@ -928,6 +973,7 @@ impl Engine {
                         .queue_mut(q)
                         .reserve()
                         .expect("checked not full");
+                    self.trace_queue_push(now, q);
                     self.issue_queue_fetch(now, q, slot, paddr, coherent);
                     self.produce_pending[qi].pop_front();
                     // Store acked as soon as the produce is accepted
@@ -944,6 +990,7 @@ impl Engine {
                         .queue_mut(q)
                         .reserve()
                         .expect("checked not full");
+                    self.trace_queue_push(now, q);
                     let size = self.queues.queue(q).entry_bytes();
                     let txid = self.fresh_txid();
                     let req = MemReq {
@@ -1121,6 +1168,7 @@ impl Engine {
                     .queue_mut(q)
                     .reserve()
                     .expect("checked not full");
+                self.trace_queue_push(now, q);
                 self.issue_queue_fetch(now, q, slot, paddr, false);
                 active.head_pos += 1;
             }
@@ -1144,6 +1192,11 @@ impl Engine {
             let entry_bytes = self.queues.queue(q).entry_bytes();
             let n = (usize::from(head.size) / usize::from(entry_bytes)).max(1);
             if let Some(data) = self.queues.queue_mut(q).pop_packed(n) {
+                self.tracer.emit(now, || TraceEvent::QueuePop {
+                    engine: self.trace_id,
+                    queue: qi,
+                    occupancy: self.queues.queue(q).occupancy(),
+                });
                 self.consume_pending[qi].pop_front();
                 self.respond(now, head.dst, head.id, data);
             } else {

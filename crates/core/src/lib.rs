@@ -10,6 +10,14 @@
 //! ([`queue`]), an MMU with a 16-entry TLB and hardware page-table walker,
 //! and the LIMA unit. [`area`] reproduces the Section 5.4 area analysis.
 //!
+//! # Observability
+//!
+//! With a [`maple_trace::Tracer`] attached ([`engine::Engine::set_tracer`])
+//! the engine emits fetch issue/fill events (with memory latency), queue
+//! push/pop events carrying live occupancy, and fault-plane
+//! injection/recovery markers (ack drops, fetch retries) — all zero-cost
+//! when tracing is disabled.
+//!
 //! # Example: pointer-produce and consume, engine-level
 //!
 //! ```

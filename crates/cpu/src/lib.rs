@@ -11,15 +11,26 @@
 //! The core executes [`maple_isa::Program`]s over real data in
 //! [`maple_mem::PhysMem`], so kernels compute actual results that tests
 //! compare against host references.
+//!
+//! # Observability
+//!
+//! Every stall is attributed: the core classifies each blocked cycle at
+//! stall end using the [`ServedBy`] level of
+//! the response (L1 / L2 / DRAM / MAPLE consume) into
+//! [`CpuStats::stall`], and — when a [`maple_trace::Tracer`] is attached
+//! via [`Core::set_tracer`] — emits begin/end stall spans and MMIO
+//! transaction events into the trace. Tracing is pure observation: a
+//! traced run is cycle-identical to an untraced one.
 
 pub mod desc;
 
 use maple_isa::{AtomicOp, Inst, LdClass, Operand, Program, Reg, NUM_REGS};
 use maple_mem::l1::{CoreOp, CoreReq, L1Cache, L1Config, L1Reject};
-use maple_mem::msg::{MemReq, MemResp};
+use maple_mem::msg::{MemReq, MemResp, ServedBy};
 use maple_mem::phys::{AmoKind, PhysMem};
 use maple_sim::stats::Counter;
 use maple_sim::Cycle;
+use maple_trace::{StallBreakdown, StallCause, TraceEvent, Tracer, WaitKind};
 use maple_vm::page_table::{PageFault, PageTable, Translation};
 use maple_vm::tlb::Tlb;
 use maple_vm::walker::walk_latency;
@@ -110,6 +121,13 @@ pub struct CpuStats {
     /// Responses for transactions the core no longer tracks (duplicate
     /// deliveries after an uncore-level MMIO retry); discarded.
     pub stale_responses: Counter,
+    /// Cycles spent parked in [`CoreState::Faulted`] awaiting the OS
+    /// page-fault handler (also attributed to
+    /// [`StallBreakdown::fault_recovery`]).
+    pub fault_stall_cycles: Counter,
+    /// Memory-stall cycles attributed by cause once each blocking access
+    /// completed (the serving level rides back on the response).
+    pub stall: StallBreakdown,
     /// The cycle `Halt` retired, if it has.
     pub halted_at: Option<Cycle>,
 }
@@ -139,9 +157,22 @@ pub struct Core {
     next_req_id: u64,
     /// DeSC terminal loads in flight: L1 transaction → queue slot.
     desc_inflight: HashMap<u64, SlotTicket>,
-    /// Unacknowledged MMIO stores tracked by the store buffer.
-    mmio_inflight: std::collections::HashSet<u64>,
+    /// Unacknowledged MMIO stores tracked by the store buffer:
+    /// transaction → (issue cycle, physical address), kept for the MMIO
+    /// trace events.
+    mmio_inflight: HashMap<u64, (Cycle, u64)>,
     stats: CpuStats,
+    tracer: Tracer,
+    /// Issue cycle of the access the core is blocked on.
+    stall_begin: Cycle,
+    /// What kind of access the core is blocked on.
+    stall_wait: WaitKind,
+    /// Physical address of the blocking access (for MMIO trace events).
+    stall_addr: u64,
+    /// Set by the uncore when its watchdog re-issued the transaction the
+    /// core is waiting on; the whole stall is then attributed to fault
+    /// recovery.
+    fault_retry: bool,
 }
 
 impl Core {
@@ -162,9 +193,29 @@ impl Core {
             l1: L1Cache::new(cfg.l1),
             next_req_id: 0,
             desc_inflight: HashMap::new(),
-            mmio_inflight: std::collections::HashSet::new(),
+            mmio_inflight: HashMap::new(),
             stats: CpuStats::default(),
+            tracer: Tracer::disabled(),
+            stall_begin: Cycle::ZERO,
+            stall_wait: WaitKind::Mem,
+            stall_addr: 0,
+            fault_retry: false,
             cfg,
+        }
+    }
+
+    /// Installs an observability tracer (stall and MMIO events). Tracing
+    /// never changes timing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Tells the core that the uncore's MMIO watchdog re-issued the
+    /// transaction it is blocked on; the stall, when it ends, is
+    /// attributed to fault recovery.
+    pub fn note_fault_retry(&mut self) {
+        if self.waiting.is_some() {
+            self.fault_retry = true;
         }
     }
 
@@ -335,8 +386,15 @@ impl Core {
                 q.fill(ticket, resp.data);
                 continue;
             }
-            if self.mmio_inflight.remove(&resp.id) {
-                continue; // MMIO store ack drains from the store buffer
+            if let Some((issued, addr)) = self.mmio_inflight.remove(&resp.id) {
+                // MMIO store ack drains from the store buffer.
+                self.tracer.emit(now, || TraceEvent::MmioComplete {
+                    core: self.id,
+                    addr,
+                    write: true,
+                    latency: now.since(issued),
+                });
+                continue;
             }
             match self.waiting {
                 Some(Waiting::Resp { id, rd }) if id == resp.id => {
@@ -346,6 +404,7 @@ impl Core {
                     self.waiting = None;
                     self.state = CoreState::Running;
                     self.next_ready = now.plus(1);
+                    self.end_stall(now, resp.served_by);
                 }
                 // A response for a transaction the core no longer waits
                 // on: possible when an uncore watchdog re-sent an MMIO
@@ -358,7 +417,12 @@ impl Core {
         }
 
         match self.state {
-            CoreState::Halted | CoreState::Faulted => return,
+            CoreState::Halted => return,
+            CoreState::Faulted => {
+                self.stats.fault_stall_cycles.inc();
+                self.stats.stall.add(StallCause::FaultRecovery, 1);
+                return;
+            }
             CoreState::WaitingMem => {
                 self.stats.mem_stall_cycles.inc();
                 return;
@@ -441,6 +505,15 @@ impl Core {
                                 self.state = CoreState::WaitingMem;
                                 self.pc += 1;
                                 self.stats.instructions.inc();
+                                self.begin_stall(
+                                    now,
+                                    if t.flags.mmio {
+                                        WaitKind::MmioLoad
+                                    } else {
+                                        WaitKind::Mem
+                                    },
+                                    t.paddr.0,
+                                );
                             }
                             Err(L1Reject::MshrFull | L1Reject::StoreBufferFull) => {
                                 self.next_ready = now.plus(1); // retry
@@ -468,7 +541,9 @@ impl Core {
                         {
                             // Store buffer full of unacked MMIO stores —
                             // this is how MAPLE's queue-full backpressure
-                            // reaches the pipeline.
+                            // reaches the pipeline. Each retried cycle is
+                            // an MMIO-attributed stall.
+                            self.stats.stall.add(StallCause::Mmio, 1);
                             self.next_ready = now.plus(1);
                             return;
                         }
@@ -488,7 +563,7 @@ impl Core {
                                     // ack (paper, produce step 4), but the
                                     // pipeline runs ahead from the store
                                     // buffer.
-                                    self.mmio_inflight.insert(id);
+                                    self.mmio_inflight.insert(id, (now, t.paddr.0));
                                 }
                                 self.next_ready = now.plus(1);
                             }
@@ -540,6 +615,7 @@ impl Core {
                                 self.waiting = Some(Waiting::Resp { id, rd: Some(rd) });
                                 self.state = CoreState::WaitingMem;
                                 self.pc += 1;
+                                self.begin_stall(now, WaitKind::Mem, t.paddr.0);
                             }
                             Err(_) => self.next_ready = now.plus(1),
                         }
@@ -651,6 +727,52 @@ impl Core {
                     Translate::Fault(f) => self.raise_fault(va, false, f),
                 }
             }
+        }
+    }
+
+    /// Marks the start of a blocking memory stall (for attribution and
+    /// tracing).
+    fn begin_stall(&mut self, now: Cycle, waiting: WaitKind, addr: u64) {
+        self.stall_begin = now;
+        self.stall_wait = waiting;
+        self.stall_addr = addr;
+        self.tracer.emit(now, || TraceEvent::CoreStallBegin {
+            core: self.id,
+            waiting,
+        });
+    }
+
+    /// Attributes a completed blocking stall now that the serving level is
+    /// known, and emits the matching trace events.
+    fn end_stall(&mut self, now: Cycle, served_by: ServedBy) {
+        let latency = now.since(self.stall_begin);
+        let cause = if self.fault_retry {
+            StallCause::FaultRecovery
+        } else {
+            match (self.stall_wait, served_by) {
+                (WaitKind::MmioLoad, _) => StallCause::ConsumeWait,
+                (WaitKind::Mem, ServedBy::L1) => StallCause::L1Hit,
+                (WaitKind::Mem, ServedBy::L2) => StallCause::L1Miss,
+                (WaitKind::Mem, ServedBy::Dram) => StallCause::L2Miss,
+                (WaitKind::Mem, ServedBy::DramDirect) => StallCause::Dram,
+                // A plain load answered by a device should not happen,
+                // but attribute it as MMIO rather than losing it.
+                (WaitKind::Mem, ServedBy::Device) => StallCause::Mmio,
+            }
+        };
+        self.fault_retry = false;
+        self.stats.stall.add(cause, latency);
+        self.tracer.emit(now, || TraceEvent::CoreStallEnd {
+            core: self.id,
+            cause,
+        });
+        if self.stall_wait == WaitKind::MmioLoad {
+            self.tracer.emit(now, || TraceEvent::MmioComplete {
+                core: self.id,
+                addr: self.stall_addr,
+                write: false,
+                latency,
+            });
         }
     }
 

@@ -377,12 +377,12 @@ fn mmio_stores_run_ahead_until_the_buffer_fills() {
     // Acks drain the buffer; the remaining stores issue and the core
     // halts.
     for req in issued.drain(..) {
-        core.on_mem_resp(now, MemResp { id: req.id, data: 0 }, &mem);
+        core.on_mem_resp(now, MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
     }
     for _ in 0..500 {
         core.tick(now, &mut mem, None);
         while let Some(req) = core.pop_mem_request() {
-            core.on_mem_resp(now.plus(10), MemResp { id: req.id, data: 0 }, &mem);
+            core.on_mem_resp(now.plus(10), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
         }
         if core.is_halted() {
             break;

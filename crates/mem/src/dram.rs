@@ -74,6 +74,7 @@ pub struct Dram<T> {
     stats: DramStats,
     /// Fault-plane latency-spike schedule; `None` means nominal timing.
     fault: Option<maple_sim::fault::FaultSchedule>,
+    tracer: maple_trace::Tracer,
 }
 
 impl<T> Dram<T> {
@@ -86,12 +87,19 @@ impl<T> Dram<T> {
             in_flight: DelayQueue::new(),
             stats: DramStats::default(),
             fault: None,
+            tracer: maple_trace::Tracer::disabled(),
         }
     }
 
     /// Installs the fault plane's DRAM latency-spike schedule.
     pub fn set_fault(&mut self, fault: maple_sim::fault::FaultSchedule) {
         self.fault = Some(fault);
+    }
+
+    /// Installs an observability tracer (latency-spike injections are
+    /// recorded through it).
+    pub fn set_tracer(&mut self, tracer: maple_trace::Tracer) {
+        self.tracer = tracer;
     }
 
     /// The configuration.
@@ -120,6 +128,9 @@ impl<T> Dram<T> {
                 if f.strike() {
                     self.stats.spikes.inc();
                     latency = latency.saturating_add(f.magnitude());
+                    self.tracer.emit(now, || maple_trace::TraceEvent::FaultInjected {
+                        site: maple_trace::FaultSite::DramSpike,
+                    });
                 }
             }
             self.in_flight.send(now, latency, entry);

@@ -12,7 +12,7 @@ use maple_sim::stats::{Counter, Histogram};
 use maple_sim::Cycle;
 
 use crate::cache::{CacheArray, CacheGeometry};
-use crate::msg::{MemReq, MemReqKind, MemResp};
+use crate::msg::{MemReq, MemReqKind, MemResp, ServedBy};
 use crate::phys::{AmoKind, PAddr, PhysMem};
 
 /// L1 configuration.
@@ -115,6 +115,9 @@ pub struct CoreResp {
     pub id: u64,
     /// Load data / AMO old value / zero for acks.
     pub data: u64,
+    /// Which level served the access (observability only; L1 hits report
+    /// [`ServedBy::L1`], everything else propagates the memory response).
+    pub served_by: ServedBy,
 }
 
 /// Why the L1 refused a request this cycle.
@@ -239,7 +242,11 @@ impl L1Cache {
                     self.core_resp.send(
                         now,
                         self.cfg.hit_latency,
-                        CoreResp { id: req.id, data },
+                        CoreResp {
+                            id: req.id,
+                            data,
+                            served_by: ServedBy::L1,
+                        },
                     );
                     return Ok(());
                 }
@@ -410,7 +417,11 @@ impl L1Cache {
                     self.core_resp.send(
                         now,
                         self.cfg.hit_latency,
-                        CoreResp { id: w.id, data },
+                        CoreResp {
+                            id: w.id,
+                            data,
+                            served_by: resp.served_by,
+                        },
                     );
                 }
             }
@@ -437,6 +448,7 @@ impl L1Cache {
                     CoreResp {
                         id: req.id,
                         data: resp.data,
+                        served_by: resp.served_by,
                     },
                 );
             }
@@ -504,16 +516,16 @@ mod tests {
         assert_eq!(req.kind, MemReqKind::ReadLine);
         assert_eq!(req.addr, PAddr(0x1000));
         // Response arrives later.
-        c.on_mem_resp(Cycle(100), MemResp { id: req.id, data: 0 }, &mem);
+        c.on_mem_resp(Cycle(100), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
         assert_eq!(c.pop_core_resp(Cycle(101)), None);
         assert_eq!(
             c.pop_core_resp(Cycle(102)),
-            Some(CoreResp { id: 1, data: 77 })
+            Some(CoreResp { id: 1, data: 77, served_by: ServedBy::Dram })
         );
         // Second access to the same line now hits with hit latency.
         c.access(Cycle(200), load(2, 0x1008), &mut mem).unwrap();
         assert!(c.pop_outgoing().is_none(), "hit: no traffic");
-        assert_eq!(c.pop_core_resp(Cycle(202)), Some(CoreResp { id: 2, data: 0 }));
+        assert_eq!(c.pop_core_resp(Cycle(202)), Some(CoreResp { id: 2, data: 0, served_by: ServedBy::L1 }));
         assert_eq!(c.stats().loads.get(), 2);
         assert_eq!(c.stats().load_hits.get(), 1);
     }
@@ -527,7 +539,7 @@ mod tests {
         c.access(Cycle(0), load(2, 0x2008), &mut mem).unwrap();
         let req = c.pop_outgoing().unwrap();
         assert!(c.pop_outgoing().is_none(), "second load merged into MSHR");
-        c.on_mem_resp(Cycle(50), MemResp { id: req.id, data: 0 }, &mem);
+        c.on_mem_resp(Cycle(50), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
         let r1 = c.pop_core_resp(Cycle(52)).unwrap();
         let r2 = c.pop_core_resp(Cycle(52)).unwrap();
         assert_eq!((r1.data, r2.data), (5, 6));
@@ -611,7 +623,7 @@ mod tests {
         // Fill the line first via a demand load.
         c.access(Cycle(0), load(1, 0x4000), &mut mem).unwrap();
         let fill = c.pop_outgoing().unwrap();
-        c.on_mem_resp(Cycle(10), MemResp { id: fill.id, data: 0 }, &mem);
+        c.on_mem_resp(Cycle(10), MemResp { id: fill.id, data: 0, served_by: ServedBy::Dram }, &mem);
         let _ = c.pop_core_resp(Cycle(12));
         // Volatile load to the same (resident) line still goes out.
         let v = CoreReq {
@@ -623,10 +635,10 @@ mod tests {
         let fwd = c.pop_outgoing().expect("volatile bypasses the cache");
         assert_eq!(fwd.kind, MemReqKind::ReadWord { size: 8 });
         mem.write_u64(PAddr(0x4000), 1234);
-        c.on_mem_resp(Cycle(60), MemResp { id: fwd.id, data: 1234 }, &mem);
+        c.on_mem_resp(Cycle(60), MemResp { id: fwd.id, data: 1234, served_by: ServedBy::Dram }, &mem);
         assert_eq!(
             c.pop_core_resp(Cycle(62)),
-            Some(CoreResp { id: 2, data: 1234 })
+            Some(CoreResp { id: 2, data: 1234, served_by: ServedBy::Dram })
         );
     }
 
@@ -681,7 +693,7 @@ mod tests {
         .unwrap();
         let req = c.pop_outgoing().unwrap();
         assert_eq!(req.kind, MemReqKind::ReadLine);
-        c.on_mem_resp(Cycle(30), MemResp { id: req.id, data: 0 }, &mem);
+        c.on_mem_resp(Cycle(30), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
         assert_eq!(c.pop_core_resp(Cycle(40)), None, "prefetch is silent");
         assert!(c.contains_line(PAddr(0x5000)));
         assert_eq!(c.stats().prefetches.get(), 1);
@@ -704,7 +716,7 @@ mod tests {
         let (mut c, mut mem) = l1();
         c.access(Cycle(0), load(1, 0x6000), &mut mem).unwrap();
         let req = c.pop_outgoing().unwrap();
-        c.on_mem_resp(Cycle(330), MemResp { id: req.id, data: 0 }, &mem);
+        c.on_mem_resp(Cycle(330), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
         let _ = c.pop_core_resp(Cycle(332));
         assert_eq!(c.stats().load_latency.max(), Some(332));
     }
@@ -716,7 +728,7 @@ mod tests {
         c.access(Cycle(0), load(1, 0x0), &mut mem).unwrap();
         assert!(!c.is_idle());
         let req = c.pop_outgoing().unwrap();
-        c.on_mem_resp(Cycle(5), MemResp { id: req.id, data: 0 }, &mem);
+        c.on_mem_resp(Cycle(5), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
         let _ = c.pop_core_resp(Cycle(7)).unwrap();
         assert!(c.is_idle());
     }

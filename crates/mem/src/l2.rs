@@ -17,7 +17,7 @@ use maple_sim::Cycle;
 
 use crate::cache::{CacheArray, CacheGeometry};
 use crate::dram::{Dram, DramConfig};
-use crate::msg::{MemReq, MemReqKind, MemResp};
+use crate::msg::{MemReq, MemReqKind, MemResp, ServedBy};
 use crate::phys::{PAddr, PhysMem};
 
 /// Shared-L2 configuration.
@@ -142,10 +142,20 @@ impl SharedL2 {
         }
     }
 
-    fn respond(out: &mut Vec<OutboundResp>, req: &MemReq, data: u64, is_line: bool) {
+    fn respond(
+        out: &mut Vec<OutboundResp>,
+        req: &MemReq,
+        data: u64,
+        is_line: bool,
+        served_by: ServedBy,
+    ) {
         out.push(OutboundResp {
             dst: req.reply_to,
-            resp: MemResp { id: req.id, data },
+            resp: MemResp {
+                id: req.id,
+                data,
+                served_by,
+            },
             flits: MemResp::flits(is_line),
         });
     }
@@ -156,7 +166,7 @@ impl SharedL2 {
                 let line = req.addr.line_base();
                 if self.tags.access(line) {
                     self.stats.hits.inc();
-                    Self::respond(&mut self.out, &req, 0, true);
+                    Self::respond(&mut self.out, &req, 0, true, ServedBy::L2);
                     return;
                 }
                 self.stats.misses.inc();
@@ -171,7 +181,7 @@ impl SharedL2 {
                 if self.tags.access(req.addr) {
                     self.stats.hits.inc();
                     let data = mem.read_uint(req.addr, size);
-                    Self::respond(&mut self.out, &req, data, false);
+                    Self::respond(&mut self.out, &req, data, false, ServedBy::L2);
                 } else {
                     self.stats.misses.inc();
                     self.stats.dram_fetches.inc();
@@ -199,7 +209,7 @@ impl SharedL2 {
                 if self.tags.access(req.addr) {
                     self.stats.hits.inc();
                     let old = mem.amo(req.addr, size, kind, operand);
-                    Self::respond(&mut self.out, &req, old, false);
+                    Self::respond(&mut self.out, &req, old, false, ServedBy::L2);
                 } else {
                     self.stats.misses.inc();
                     self.stats.dram_fetches.inc();
@@ -222,7 +232,7 @@ impl SharedL2 {
             DramToken::LineFill { line } => {
                 self.tags.fill(line);
                 for req in self.line_mshrs.remove(&line).unwrap_or_default() {
-                    Self::respond(&mut self.out, &req, 0, true);
+                    Self::respond(&mut self.out, &req, 0, true, ServedBy::Dram);
                 }
             }
             DramToken::WordFill { req } => {
@@ -232,7 +242,7 @@ impl SharedL2 {
                     _ => unreachable!("WordFill originates from ReadWord"),
                 };
                 let data = mem.read_uint(req.addr, size);
-                Self::respond(&mut self.out, &req, data, false);
+                Self::respond(&mut self.out, &req, data, false, ServedBy::Dram);
             }
             DramToken::AmoFill { req } => {
                 self.tags.fill(req.addr.line_base());
@@ -245,7 +255,7 @@ impl SharedL2 {
                     unreachable!("AmoFill originates from Amo");
                 };
                 let old = mem.amo(req.addr, size, kind, operand);
-                Self::respond(&mut self.out, &req, old, false);
+                Self::respond(&mut self.out, &req, old, false, ServedBy::Dram);
             }
             DramToken::DirectWord { req } => {
                 let size = match req.kind {
@@ -253,10 +263,10 @@ impl SharedL2 {
                     _ => unreachable!("DirectWord originates from ReadWordDram"),
                 };
                 let data = mem.read_uint(req.addr, size);
-                Self::respond(&mut self.out, &req, data, false);
+                Self::respond(&mut self.out, &req, data, false, ServedBy::DramDirect);
             }
             DramToken::DirectLine { req } => {
-                Self::respond(&mut self.out, &req, 0, true);
+                Self::respond(&mut self.out, &req, 0, true, ServedBy::DramDirect);
             }
             DramToken::PrefetchFill { line } => {
                 self.stats.prefetch_fills.inc();
@@ -299,6 +309,11 @@ impl SharedL2 {
     /// backing channel.
     pub fn set_dram_fault(&mut self, fault: maple_sim::fault::FaultSchedule) {
         self.dram.set_fault(fault);
+    }
+
+    /// Installs an observability tracer on the backing DRAM channel.
+    pub fn set_tracer(&mut self, tracer: maple_trace::Tracer) {
+        self.dram.set_tracer(tracer);
     }
 
     /// Statistics of the backing DRAM channel (spike counts live here).

@@ -13,11 +13,19 @@
 //! [`msg::MemResp`]; MAPLE issues exactly the same messages as an L1 cache,
 //! which is the paper's central integration claim.
 //!
+//! # Observability
+//!
+//! Every [`msg::MemResp`] carries a [`msg::ServedBy`] tag naming the level
+//! that produced the data (L1 / L2 / DRAM / direct DRAM / device). The tag
+//! is purely observational — cores use it to attribute stall cycles — and
+//! the L2/DRAM pair forwards an attached [`maple_trace::Tracer`] so DRAM
+//! latency-spike fault injections appear in traces.
+//!
 //! # Example: an L1 miss round trip
 //!
 //! ```
 //! use maple_mem::l1::{CoreOp, CoreReq, L1Cache, L1Config};
-//! use maple_mem::msg::MemResp;
+//! use maple_mem::msg::{MemResp, ServedBy};
 //! use maple_mem::phys::{PAddr, PhysMem};
 //! use maple_sim::Cycle;
 //!
@@ -27,7 +35,7 @@
 //! l1.access(Cycle(0), CoreReq { id: 1, addr: PAddr(0x100), op: CoreOp::Load { size: 8 } }, &mut mem)
 //!     .expect("accepted");
 //! let fill = l1.pop_outgoing().expect("miss goes to memory");
-//! l1.on_mem_resp(Cycle(330), MemResp { id: fill.id, data: 0 }, &mem);
+//! l1.on_mem_resp(Cycle(330), MemResp { id: fill.id, data: 0, served_by: ServedBy::Dram }, &mem);
 //! assert_eq!(l1.pop_core_resp(Cycle(332)).unwrap().data, 7);
 //! ```
 

@@ -94,6 +94,41 @@ impl MemReq {
     }
 }
 
+/// Which level of the hierarchy ultimately served a response.
+///
+/// Carried back on every response purely for observability: the stall
+/// attribution of `maple-trace` needs to know, at the moment a blocking
+/// load unblocks, whether the wait was an L1 miss served by the L2, an L2
+/// miss filled from DRAM, a direct-to-DRAM access, or an MMIO device
+/// round trip. The field never influences timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Served locally by the requester's L1 (hit).
+    L1,
+    /// Served by the shared L2 (tag hit at the coherence point).
+    L2,
+    /// Filled from DRAM through the L2 miss path.
+    Dram,
+    /// Served on the direct-to-DRAM path (no L2 lookup).
+    DramDirect,
+    /// Answered by an MMIO device (a MAPLE engine).
+    Device,
+}
+
+impl ServedBy {
+    /// Short, stable label for traces and tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ServedBy::L1 => "l1",
+            ServedBy::L2 => "l2",
+            ServedBy::Dram => "dram",
+            ServedBy::DramDirect => "dram-direct",
+            ServedBy::Device => "device",
+        }
+    }
+}
+
 /// A response from the shared L2 / memory controller / device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemResp {
@@ -102,6 +137,9 @@ pub struct MemResp {
     /// Word data for `ReadWord`/`ReadWordDram`/`Amo` (old value); zero for
     /// `ReadLine` fills and `Write` acknowledgements.
     pub data: u64,
+    /// Which level served the access (observability only — see
+    /// [`ServedBy`]).
+    pub served_by: ServedBy,
 }
 
 impl MemResp {

@@ -9,6 +9,12 @@
 //! and the MAPLE engines can all exchange their own message enums through a
 //! single interconnect.
 //!
+//! # Observability
+//!
+//! [`Mesh::set_tracer`] attaches a [`maple_trace::Tracer`]; the mesh then
+//! emits a hop event per router traversal and fault markers for injected
+//! packet drops/delays. Tracing never alters routing or timing.
+//!
 //! # Example
 //!
 //! ```
@@ -35,6 +41,7 @@ use std::collections::VecDeque;
 
 use maple_sim::stats::{Counter, Histogram};
 use maple_sim::Cycle;
+use maple_trace::{FaultSite, TraceEvent, Tracer};
 
 /// A router position in the mesh.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -199,6 +206,8 @@ pub struct Mesh<T> {
     stats: MeshStats,
     /// Fault plane slice; `None` (the default) means perfectly reliable.
     fault: Option<NocFault>,
+    /// Observability tracer (disabled by default; hop and fault events).
+    tracer: Tracer,
 }
 
 impl<T> Mesh<T> {
@@ -221,6 +230,7 @@ impl<T> Mesh<T> {
             delivered: (0..n).map(|_| VecDeque::new()).collect(),
             stats: MeshStats::default(),
             fault: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -229,6 +239,13 @@ impl<T> Mesh<T> {
     /// through [`Mesh::inject_unreliable`].
     pub fn set_fault(&mut self, fault: NocFault) {
         self.fault = Some(fault);
+    }
+
+    /// Installs an observability tracer; every router hop and fault-plane
+    /// action is recorded through it. Tracing never changes routing or
+    /// timing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The mesh configuration.
@@ -328,11 +345,15 @@ impl<T> Mesh<T> {
                 // The packet entered the network and died there.
                 self.stats.injected.inc();
                 self.stats.dropped.inc();
+                self.tracer
+                    .emit(now, || TraceEvent::FaultInjected { site: FaultSite::NocDrop });
                 return Ok(());
             }
             if f.delay.strike() {
                 self.stats.delayed.inc();
                 ready_at = now.plus(f.delay.magnitude());
+                self.tracer
+                    .emit(now, || TraceEvent::FaultInjected { site: FaultSite::NocDelay });
             }
         }
         self.buffers[i][LOCAL].push_back(Packet {
@@ -436,6 +457,11 @@ impl<T> Mesh<T> {
                 self.port_busy[r][out] = now.plus(u64::from(pkt.flits));
                 pkt.ready_at = now.plus(self.cfg.hop_latency);
                 pkt.hops += 1;
+                self.tracer.emit(now, || TraceEvent::NocHop {
+                    x: here.x,
+                    y: here.y,
+                    flits: pkt.flits,
+                });
                 self.buffers[next_idx][entry].push_back(pkt);
             }
         }

@@ -8,6 +8,7 @@ use maple_mem::dram::DramConfig;
 use maple_mem::l2::L2Config;
 use maple_noc::Coord;
 use maple_sim::fault::FaultPlaneConfig;
+use maple_trace::TraceConfig;
 
 /// Physical base address of the MAPLE instance pages.
 pub const MAPLE_PA_BASE: u64 = 0xF000_0000;
@@ -52,6 +53,10 @@ pub struct SocConfig {
     /// every run fault-free and timing-identical to a build without the
     /// plane.
     pub fault: Option<FaultPlaneConfig>,
+    /// Cycle-level event tracing; `None` (the default) records nothing
+    /// and is cycle-identical to a traced run (tracing is pure
+    /// observation).
+    pub trace: Option<TraceConfig>,
 }
 
 impl SocConfig {
@@ -76,6 +81,7 @@ impl SocConfig {
             desc_queue_capacity: 32,
             maple_tile_override: None,
             fault: None,
+            trace: None,
         }
     }
 
@@ -142,6 +148,15 @@ impl SocConfig {
     #[must_use]
     pub fn with_fault_plane(mut self, fault: FaultPlaneConfig) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Enables cycle-level event tracing (see `maple-trace`). Traced runs
+    /// are cycle-count identical to untraced ones — tracing only
+    /// observes.
+    #[must_use]
+    pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
         self
     }
 

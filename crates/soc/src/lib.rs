@@ -7,6 +7,15 @@
 //! memory with demand paging ([`os`]), and driving MAPLE through the
 //! MMIO API ([`runtime::MapleApi`]).
 //!
+//! # Observability
+//!
+//! [`config::SocConfig::with_tracing`] threads one [`maple_trace::Tracer`]
+//! through cores, engines, NoC and memory; the finished
+//! [`system::System`] then offers `write_trace` (Chrome `trace_event`
+//! export), `stall_rows` (per-core stall attribution) and
+//! `metrics_snapshot` (the unified counter registry). Traced runs are
+//! cycle-identical to untraced ones.
+//!
 //! # Quickstart
 //!
 //! ```

@@ -22,6 +22,9 @@ use maple_sim::fault::{CoreHang, EngineHang, HangDiagnosis, WatchdogConfig};
 use maple_sim::link::DelayQueue;
 use maple_sim::stats::Counter;
 use maple_sim::{Cycle, RunOutcome};
+use maple_trace::{
+    FaultSite, MetricsSnapshot, StallBreakdown, StallRow, TraceEvent, TraceRecord, Tracer,
+};
 use maple_vm::page_table::FrameAllocator;
 use maple_vm::{VAddr, VirtPage};
 
@@ -131,6 +134,10 @@ pub struct System {
     /// Fault-injection plane state; `None` keeps the run fault-free with
     /// zero timing perturbation.
     chaos: Option<ChaosState>,
+    /// Observability tracer handle; disabled unless
+    /// [`SocConfig::with_tracing`] was used. Clones of this handle are
+    /// installed in every core, engine, the mesh and the DRAM channel.
+    tracer: Tracer,
     now: Cycle,
 }
 
@@ -163,6 +170,14 @@ impl System {
         let mut engines: Vec<Engine> = (0..cfg.maples).map(|_| Engine::new(maple_cfg)).collect();
         let mut l2 = SharedL2::new(cfg.l2, cfg.dram);
         let mut mesh = mesh;
+        let tracer = cfg.trace.map_or_else(Tracer::disabled, Tracer::enabled);
+        if tracer.is_enabled() {
+            mesh.set_tracer(tracer.clone());
+            l2.set_tracer(tracer.clone());
+            for (e, engine) in engines.iter_mut().enumerate() {
+                engine.set_tracer(e, tracer.clone());
+            }
+        }
         let droplet = cfg.droplet.map(DropletPrefetcher::new);
         let nodes = mesh.config().nodes();
         // Install the fault plane's per-site schedules and the driver-side
@@ -208,6 +223,7 @@ impl System {
                 .map(|_| vec![maple_sim::stats::Histogram::new(); maple_cfg.queues])
                 .collect(),
             chaos,
+            tracer,
             now: Cycle::ZERO,
             cfg,
         }
@@ -323,6 +339,7 @@ impl System {
             self.cfg.cores
         );
         let mut core = Core::new(idx, self.cfg.cpu, program, self.aspace.page_table());
+        core.set_tracer(self.tracer.clone());
         for &(r, v) in args {
             core.set_reg(r, v);
         }
@@ -441,6 +458,9 @@ impl System {
                     chaos.resets.pop_front();
                     if e < self.engines.len() && !chaos.retired[e] {
                         chaos.stats.resets_injected.inc();
+                        self.tracer.emit(now, || TraceEvent::FaultRecovered {
+                            site: FaultSite::EngineReset,
+                        });
                         self.engines[e].reset();
                     }
                 }
@@ -467,6 +487,9 @@ impl System {
                         .stats
                         .shootdowns_injected
                         .inc();
+                    self.tracer.emit(now, || TraceEvent::FaultRecovered {
+                        site: FaultSite::TlbShootdown,
+                    });
                     for core in &mut self.cores {
                         core.tlb_shootdown(vpn);
                     }
@@ -519,6 +542,12 @@ impl System {
                 m.issued = now;
                 let req = m.req;
                 chaos.stats.mmio_retries.inc();
+                self.tracer.emit(now, || TraceEvent::FaultRecovered {
+                    site: FaultSite::MmioRetry,
+                });
+                // The stall this transaction resolves is now recovery
+                // work; attribute it as such when it ends.
+                self.cores[key.0].note_fault_retry();
                 let tile = self.layout.core_tiles[key.0];
                 let dst = self.route(req.addr);
                 let flits = req.flits();
@@ -955,5 +984,140 @@ impl System {
             h.merge(&c.l1_stats().load_latency);
         }
         h.mean()
+    }
+
+    // --- observability ----------------------------------------------------
+
+    /// The observability tracer handle (disabled unless
+    /// [`SocConfig::with_tracing`] was used).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Snapshot of the captured trace, oldest first. Empty when tracing
+    /// is disabled; when the ring overflowed only the most recent events
+    /// survive (see [`Tracer::dropped`]).
+    #[must_use]
+    pub fn trace_records(&self) -> Vec<TraceRecord> {
+        self.tracer.records()
+    }
+
+    /// Exports the captured trace in Chrome `trace_event` JSON to `path`
+    /// (open in `chrome://tracing` or <https://ui.perfetto.dev>).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
+        maple_trace::chrome::write_chrome_trace(path, &self.tracer.records())
+    }
+
+    /// Cycles core `i` has been live: issue to halt, or to now if still
+    /// running.
+    fn core_cycles(&self, i: usize) -> u64 {
+        self.cores[i]
+            .stats()
+            .halted_at
+            .map_or(self.now.0, |h| h.0)
+    }
+
+    /// Per-core stall attribution rows (blocking cycles split by
+    /// attributed cause; `compute` is the remainder).
+    #[must_use]
+    pub fn stall_rows(&self) -> Vec<StallRow> {
+        (0..self.cores.len())
+            .map(|i| StallRow {
+                label: format!("core{i}"),
+                core_cycles: self.core_cycles(i),
+                breakdown: self.cores[i].stats().stall,
+            })
+            .collect()
+    }
+
+    /// Aggregate stall attribution across every loaded core.
+    #[must_use]
+    pub fn stall_total(&self) -> (u64, StallBreakdown) {
+        let mut total = StallBreakdown::default();
+        let mut cycles = 0;
+        for i in 0..self.cores.len() {
+            total.merge(&self.cores[i].stats().stall);
+            cycles += self.core_cycles(i);
+        }
+        (cycles, total)
+    }
+
+    /// One unified registry snapshot of every component's counters: the
+    /// scattered per-component stats structs (`CpuStats`, `L1Stats`,
+    /// `EngineStats`, `L2Stats`, `DramStats`, `MeshStats`, `ChaosStats`)
+    /// rendered into named, typed metrics. Render with
+    /// [`MetricsSnapshot::render_table`] or
+    /// [`MetricsSnapshot::to_json`].
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.counter("sim/cycles", self.now.0);
+        for (i, c) in self.cores.iter().enumerate() {
+            let st = c.stats();
+            let p = format!("core{i}");
+            m.counter(format!("{p}/instructions"), st.instructions.get());
+            m.counter(format!("{p}/loads"), st.loads.get());
+            m.counter(format!("{p}/stores"), st.stores.get());
+            m.counter(format!("{p}/atomics"), st.atomics.get());
+            m.counter(format!("{p}/mem_stall_cycles"), st.mem_stall_cycles.get());
+            m.counter(format!("{p}/ptw_stall_cycles"), st.ptw_stall_cycles.get());
+            for (label, cycles) in st.stall.buckets() {
+                m.counter(format!("{p}/stall/{label}"), cycles);
+            }
+            let l1 = c.l1_stats();
+            m.counter(format!("{p}/l1/loads"), l1.loads.get());
+            m.counter(format!("{p}/l1/load_hits"), l1.load_hits.get());
+            m.histogram(format!("{p}/l1/load_latency"), &l1.load_latency);
+        }
+        for (e, eng) in self.engines.iter().enumerate() {
+            let st = eng.stats();
+            let p = format!("engine{e}");
+            m.counter(format!("{p}/mem_fetches"), st.mem_fetches.get());
+            m.counter(format!("{p}/llc_prefetches"), st.llc_prefetches.get());
+            m.counter(format!("{p}/lima_completed"), st.lima_completed.get());
+            m.counter(format!("{p}/produce_stalls"), st.produce_stalls.get());
+            m.counter(format!("{p}/consume_stalls"), st.consume_stalls.get());
+            m.counter(format!("{p}/faults"), st.faults.get());
+            m.counter(format!("{p}/fetch_retries"), st.fetch_retries.get());
+            m.counter(format!("{p}/acks_dropped"), st.acks_dropped.get());
+        }
+        let l2 = self.l2.stats();
+        m.counter("l2/hits", l2.hits.get());
+        m.counter("l2/misses", l2.misses.get());
+        m.counter("l2/dram_fetches", l2.dram_fetches.get());
+        m.counter("l2/prefetch_fills", l2.prefetch_fills.get());
+        m.counter("l2/writes", l2.writes.get());
+        let dram = self.dram_stats();
+        m.counter("dram/requests", dram.requests.get());
+        m.counter("dram/spikes", dram.spikes.get());
+        m.histogram("dram/latency", &dram.latency);
+        let noc = self.mesh_stats();
+        m.counter("noc/injected", noc.injected.get());
+        m.counter("noc/delivered", noc.delivered.get());
+        m.counter("noc/hops", noc.hops.get());
+        m.counter("noc/dropped", noc.dropped.get());
+        m.counter("noc/delayed", noc.delayed.get());
+        m.histogram("noc/latency", &noc.latency);
+        if let Some(chaos) = self.chaos_stats() {
+            m.counter("chaos/resets_injected", chaos.resets_injected.get());
+            m.counter("chaos/shootdowns_injected", chaos.shootdowns_injected.get());
+            m.counter("chaos/mmio_timeouts", chaos.mmio_timeouts.get());
+            m.counter("chaos/mmio_retries", chaos.mmio_retries.get());
+            m.counter("chaos/engines_poisoned", chaos.engines_poisoned.get());
+            m.counter(
+                "chaos/unserviceable_faults",
+                chaos.unserviceable_faults.get(),
+            );
+        }
+        if self.tracer.is_enabled() {
+            m.counter("trace/captured", self.tracer.records().len() as u64);
+            m.counter("trace/dropped", self.tracer.dropped());
+        }
+        m
     }
 }

@@ -12,7 +12,7 @@
 //! component, [`choice`] shrinks toward earlier alternatives. [`map`] and
 //! [`from_fn`] cannot shrink — when shrinking matters for a composite
 //! type, implement [`Gen`] directly (see the workspace's ported property
-//! suites for examples) and reuse the [`shrink_u64`]/[`shrink_i64`]
+//! suites for examples) and reuse the [`shrink_u64`]/[`shrink_i64_toward`]
 //! helpers.
 
 use maple_sim::rng::SimRng;

@@ -1,0 +1,218 @@
+//! The cycle-level event taxonomy.
+//!
+//! Every record the tracer captures is one [`TraceEvent`] plus the cycle
+//! it happened on ([`crate::TraceRecord`]). The taxonomy deliberately
+//! mirrors the signals the paper reasons about: core stalls (the latency
+//! MAPLE exists to hide), engine fetch round trips, queue occupancy (the
+//! backpressure mechanism of §3.4), NoC hops, MMIO transactions (the whole
+//! API surface of §3.2), and fault-plane activity (DESIGN.md §6d).
+
+/// What a stalled core turned out to be waiting for.
+///
+/// Causes are assigned when the stall *ends*: the serving level of a
+/// memory access (L1 vs L2 vs DRAM) is only known once the response
+/// arrives, so the attribution rides back on the response path (see
+/// `ServedBy` in `maple-mem`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Blocking load was served by the local L1 (the fixed two-cycle hit
+    /// latency). Reported in traces for fidelity; the
+    /// [`StallBreakdown`](crate::metrics::StallBreakdown) folds these
+    /// cycles into the compute remainder.
+    L1Hit,
+    /// Blocking load missed the L1 and was served by the shared L2.
+    L1Miss,
+    /// Blocking access missed the L2 and was filled from DRAM.
+    L2Miss,
+    /// Blocking access was served on the direct-to-DRAM path (no L2
+    /// lookup).
+    Dram,
+    /// Blocking MMIO load from an engine page — overwhelmingly MAPLE
+    /// `CONSUME` (an empty queue parks the core here).
+    ConsumeWait,
+    /// Other MMIO backpressure: the store buffer is full of
+    /// unacknowledged MMIO stores (produce backpressure reaching the
+    /// pipeline).
+    Mmio,
+    /// The stall was lengthened by fault-plane recovery: an uncore
+    /// watchdog re-issued the transaction, or the core sat in the
+    /// page-fault handler.
+    FaultRecovery,
+}
+
+impl StallCause {
+    /// Short, stable label used in trace args and table headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::L1Hit => "l1-hit",
+            StallCause::L1Miss => "l1-miss",
+            StallCause::L2Miss => "l2-miss",
+            StallCause::Dram => "dram",
+            StallCause::ConsumeWait => "consume-wait",
+            StallCause::Mmio => "mmio",
+            StallCause::FaultRecovery => "fault-recovery",
+        }
+    }
+}
+
+/// What kind of access a core blocked on (known at stall *begin*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitKind {
+    /// A cacheable or volatile load, or an AMO.
+    Mem,
+    /// A blocking MMIO load (MAPLE `CONSUME` / counter read).
+    MmioLoad,
+}
+
+impl WaitKind {
+    /// Short label for trace args.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitKind::Mem => "mem",
+            WaitKind::MmioLoad => "mmio-load",
+        }
+    }
+}
+
+/// Which fault-plane site produced an injection or a recovery action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// NoC packet silently dropped.
+    NocDrop,
+    /// NoC packet held back by the extra-delay schedule.
+    NocDelay,
+    /// DRAM access hit by a latency spike.
+    DramSpike,
+    /// Engine dropped an MMIO ack (injection) — the uncore watchdog will
+    /// re-send.
+    MmioAckDrop,
+    /// Engine-side fetch watchdog re-issued a timed-out memory fetch.
+    FetchRetry,
+    /// Uncore MMIO watchdog re-sent an unacknowledged transaction.
+    MmioRetry,
+    /// An engine was reset mid-run.
+    EngineReset,
+    /// A TLB shootdown was broadcast.
+    TlbShootdown,
+}
+
+impl FaultSite {
+    /// Short, stable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::NocDrop => "noc-drop",
+            FaultSite::NocDelay => "noc-delay",
+            FaultSite::DramSpike => "dram-spike",
+            FaultSite::MmioAckDrop => "mmio-ack-drop",
+            FaultSite::FetchRetry => "fetch-retry",
+            FaultSite::MmioRetry => "mmio-retry",
+            FaultSite::EngineReset => "engine-reset",
+            FaultSite::TlbShootdown => "tlb-shootdown",
+        }
+    }
+}
+
+/// One cycle-level event. See the module docs for the taxonomy rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A core entered a memory stall.
+    CoreStallBegin {
+        /// Core (tile) index.
+        core: usize,
+        /// What it is waiting for, as known at issue time.
+        waiting: WaitKind,
+    },
+    /// A core left a memory stall; the cause is now known.
+    CoreStallEnd {
+        /// Core (tile) index.
+        core: usize,
+        /// Attributed cause.
+        cause: StallCause,
+    },
+    /// An engine issued a memory fetch (queue fill or LIMA chunk).
+    EngineFetchIssue {
+        /// Engine index.
+        engine: usize,
+        /// Physical address fetched.
+        addr: u64,
+    },
+    /// A memory response filled an engine fetch.
+    EngineFetchFill {
+        /// Engine index.
+        engine: usize,
+        /// Round-trip latency in cycles.
+        latency: u64,
+    },
+    /// A value entered an engine queue.
+    QueuePush {
+        /// Engine index.
+        engine: usize,
+        /// Queue index within the engine.
+        queue: usize,
+        /// Entries held *after* the push.
+        occupancy: usize,
+    },
+    /// A value left an engine queue (consumed).
+    QueuePop {
+        /// Engine index.
+        engine: usize,
+        /// Queue index within the engine.
+        queue: usize,
+        /// Entries held *after* the pop.
+        occupancy: usize,
+    },
+    /// A packet traversed one router hop.
+    NocHop {
+        /// Router column.
+        x: u8,
+        /// Router row.
+        y: u8,
+        /// Packet size in flits.
+        flits: u8,
+    },
+    /// An MMIO transaction completed at the issuing core (`CONSUME`
+    /// returned, or a `PRODUCE`/config store was acknowledged).
+    MmioComplete {
+        /// Core (tile) index.
+        core: usize,
+        /// Target physical address.
+        addr: u64,
+        /// Whether it was a store (`PRODUCE`/config) or a load
+        /// (`CONSUME`/counter).
+        write: bool,
+        /// Issue-to-completion latency in cycles.
+        latency: u64,
+    },
+    /// The fault plane injected a fault.
+    FaultInjected {
+        /// Which site.
+        site: FaultSite,
+    },
+    /// A recovery mechanism acted (watchdog retry, reset, shootdown).
+    FaultRecovered {
+        /// Which site.
+        site: FaultSite,
+    },
+}
+
+impl TraceEvent {
+    /// The event's stable name, used by the Chrome exporter and the
+    /// schema test.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::CoreStallBegin { .. } | TraceEvent::CoreStallEnd { .. } => "stall",
+            TraceEvent::EngineFetchIssue { .. } => "fetch-issue",
+            TraceEvent::EngineFetchFill { .. } => "fetch-fill",
+            TraceEvent::QueuePush { .. } => "queue-push",
+            TraceEvent::QueuePop { .. } => "queue-pop",
+            TraceEvent::NocHop { .. } => "noc-hop",
+            TraceEvent::MmioComplete { .. } => "mmio",
+            TraceEvent::FaultInjected { .. } => "fault-injected",
+            TraceEvent::FaultRecovered { .. } => "fault-recovered",
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The ring-buffered event recorder and its cheap [`Tracer`] handle.
+//!
+//! A [`Tracer`] is what simulation components hold. It is either
+//! *disabled* — the default, a `None` under the hood, making every emit a
+//! single branch with the event constructor never run — or *enabled*, a
+//! shared handle onto one [`TraceBuffer`] ring. All components of a
+//! [`System`](../../maple_soc/system/struct.System.html) share one buffer,
+//! so the exported trace is globally ordered by emission.
+//!
+//! The ring bounds memory: once `capacity` records are held, the oldest
+//! record is dropped per push and counted, so long runs keep the *tail* of
+//! their history (the part that usually matters for a hang or a slowdown)
+//! at a fixed cost.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use maple_sim::Cycle;
+
+use crate::event::TraceEvent;
+
+/// Sizing for the trace ring buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Maximum records held; beyond this the oldest are dropped (and
+    /// counted in [`Tracer::dropped`]).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        // 1 Mi records ≈ 40 MB; enough for every example and experiment
+        // bin while still bounding an unbounded run.
+        TraceConfig {
+            capacity: 1 << 20,
+        }
+    }
+}
+
+/// One captured event: the cycle it happened on plus the event itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Emission cycle.
+    pub ts: Cycle,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// The shared ring of captured records.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    capacity: usize,
+    records: std::collections::VecDeque<TraceRecord>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    fn new(cfg: TraceConfig) -> Self {
+        TraceBuffer {
+            capacity: cfg.capacity.max(1),
+            records: std::collections::VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, rec: TraceRecord) {
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+}
+
+/// A cheaply cloneable handle to the (optional) trace buffer.
+///
+/// Components store one of these and call [`Tracer::emit`] at
+/// interesting moments; when the handle is disabled the closure is never
+/// invoked, so the instrumented hot paths cost one `Option` discriminant
+/// test — verified cycle-identical by the soc `trace_identity` test.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    buf: Option<Rc<RefCell<TraceBuffer>>>,
+}
+
+impl Tracer {
+    /// The no-op handle (what every component starts with).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer { buf: None }
+    }
+
+    /// Creates an enabled handle backed by a fresh ring buffer.
+    #[must_use]
+    pub fn enabled(cfg: TraceConfig) -> Self {
+        Tracer {
+            buf: Some(Rc::new(RefCell::new(TraceBuffer::new(cfg)))),
+        }
+    }
+
+    /// Whether events are being captured.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Records the event built by `f` at cycle `ts`. When disabled, `f`
+    /// is not called.
+    #[inline]
+    pub fn emit(&self, ts: Cycle, f: impl FnOnce() -> TraceEvent) {
+        if let Some(buf) = &self.buf {
+            buf.borrow_mut().push(TraceRecord { ts, event: f() });
+        }
+    }
+
+    /// Snapshot of every record currently held, oldest first.
+    ///
+    /// Disabled handles return an empty vector.
+    #[must_use]
+    pub fn records(&self) -> Vec<TraceRecord> {
+        match &self.buf {
+            Some(buf) => buf.borrow().records.iter().copied().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Records evicted by the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.buf.as_ref().map_or(0, |b| b.borrow().dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FaultSite;
+
+    fn ev(core: usize) -> TraceEvent {
+        TraceEvent::CoreStallEnd {
+            core,
+            cause: crate::event::StallCause::L1Miss,
+        }
+    }
+
+    #[test]
+    fn disabled_never_runs_the_constructor() {
+        let t = Tracer::disabled();
+        t.emit(Cycle(0), || panic!("constructor must not run when disabled"));
+        assert!(!t.is_enabled());
+        assert!(t.records().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Tracer::enabled(TraceConfig::default());
+        let t2 = t.clone();
+        t.emit(Cycle(1), || ev(0));
+        t2.emit(Cycle(2), || ev(1));
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ts, Cycle(1));
+        assert_eq!(recs[1].event, ev(1));
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let t = Tracer::enabled(TraceConfig { capacity: 2 });
+        for i in 0..5u64 {
+            t.emit(Cycle(i), || TraceEvent::FaultInjected {
+                site: FaultSite::NocDrop,
+            });
+        }
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ts, Cycle(3), "oldest evicted first");
+        assert_eq!(t.dropped(), 3);
+    }
+}

@@ -3,6 +3,7 @@
 
 use maple_soc::config::SocConfig;
 use maple_soc::system::System;
+use maple_trace::StallBreakdown;
 use maple_vm::VAddr;
 
 /// The latency-tolerance technique under test.
@@ -145,6 +146,13 @@ pub struct RunStats {
     pub hung: bool,
     /// Fault-plane and recovery counters (all zero without a plane).
     pub faults: FaultReport,
+    /// Total core cycles (sum of each core's issue-to-halt span) backing
+    /// the stall attribution.
+    pub core_cycles: u64,
+    /// Aggregate stall attribution across every core: blocking cycles
+    /// split by cause, with compute as the remainder (see
+    /// `maple-trace`).
+    pub stall: StallBreakdown,
 }
 
 impl RunStats {
@@ -234,6 +242,7 @@ pub fn finish(
         faults.shootdowns_injected = c.shootdowns_injected.get();
         faults.engines_poisoned = c.engines_poisoned.get();
     }
+    let (core_cycles, stall) = sys.stall_total();
     RunStats {
         cycles: outcome.cycle().0,
         loads: sys.total_loads(),
@@ -254,6 +263,8 @@ pub fn finish(
         noc_delivered: mesh.delivered.get(),
         hung: outcome.diagnosis().is_some(),
         faults,
+        core_cycles,
+        stall,
     }
 }
 
@@ -393,6 +404,8 @@ mod tests {
             noc_delivered: 0,
             hung: false,
             faults: FaultReport::default(),
+            core_cycles: 0,
+            stall: Default::default(),
         };
         let fast = RunStats {
             cycles: 500,
@@ -436,6 +449,8 @@ mod tests {
             noc_delivered: 0,
             hung: !verified,
             faults: FaultReport::default(),
+            core_cycles: 0,
+            stall: Default::default(),
         };
         // Requested variant succeeds: no degradation.
         let direct = run_with_fallback(Variant::MapleDecoupled, 2, |_, _| stats(true));

@@ -301,6 +301,8 @@ mod tests {
             noc_delivered: 100,
             hung: false,
             faults: crate::harness::FaultReport::default(),
+            core_cycles: 0,
+            stall: Default::default(),
         }
     }
 

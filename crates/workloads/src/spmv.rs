@@ -96,6 +96,20 @@ impl Spmv {
         threads: usize,
         tune: impl FnOnce(maple_soc::SocConfig) -> maple_soc::SocConfig,
     ) -> RunStats {
+        self.run_observed(variant, threads, tune).0
+    }
+
+    /// Like [`Spmv::run_tuned`] but also returns the finished [`System`],
+    /// giving callers the observability surface: captured trace records,
+    /// the metrics snapshot, and per-core stall rows (see the
+    /// `trace_spmv` example).
+    #[must_use]
+    pub fn run_observed(
+        &self,
+        variant: Variant,
+        threads: usize,
+        tune: impl FnOnce(maple_soc::SocConfig) -> maple_soc::SocConfig,
+    ) -> (RunStats, System) {
         let mut sys = System::new(tune(config_for(variant, threads)));
         let arrays = self.upload(&mut sys);
         let expected = self.reference();
@@ -122,7 +136,8 @@ impl Spmv {
         }
 
         let outcome = sys.run(MAX_CYCLES);
-        finish(&mut sys, outcome, arrays.yy, &expected)
+        let stats = finish(&mut sys, outcome, arrays.yy, &expected);
+        (stats, sys)
     }
 
     /// Asymmetric decoupling (paper §3.1): **one** Access thread supplies

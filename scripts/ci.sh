@@ -38,4 +38,21 @@ MAPLE_CHAOS_CASES="${MAPLE_CHAOS_CASES:-6}" \
 echo "==> lint: clippy, warnings are errors"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> docs gate: rustdoc builds warning-clean"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
+
+echo "==> trace smoke: traced SPMV run exports a valid, non-empty trace"
+cargo run --offline --release -q --example trace_spmv > /dev/null
+python3 - <<'PY'
+import json
+with open("target/trace_spmv.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert len(events) > 100, f"trace too small: {len(events)} events"
+phases = {e["ph"] for e in events}
+for ph in ("B", "E", "X", "C", "M"):
+    assert ph in phases, f"missing phase {ph}"
+print(f"    trace ok: {len(events)} events, phases {sorted(phases)}")
+PY
+
 echo "==> CI gate passed"
