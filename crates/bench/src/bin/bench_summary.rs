@@ -1,145 +1,53 @@
 //! Machine-readable aggregate of the paper-reproduction headline numbers.
 //!
 //! Writes `BENCH_maple.json` at the repository root: per-figure geomean
-//! speedups (Figures 8, 9, 12), the mean load latency view (Figure 11)
-//! and the consume round trip (Figure 14), all computed from the same
-//! cached suite measurements the `fig*` binaries print. Run the figure
-//! binaries (or just this one — it fills the cache itself) and diff the
-//! JSON against a previous checkout to spot regressions.
+//! speedups (Figures 8, 9, 12), the mean load latency view (Figure 11),
+//! the consume round trip (Figure 14), and the harness accounting (jobs,
+//! total sweep wall-clock, fleet-cache traffic). All measurement content
+//! comes from the same content-addressed cache the `fig*` binaries use;
+//! only the `harness` section varies run to run. Diff the JSON against a
+//! previous checkout to spot regressions.
 
 use std::fs;
 use std::path::PathBuf;
 
-use maple_bench::experiments::{
-    app_datasets, decoupling_suite, find, prefetch_suite, prior_work_suite, Measurement,
-};
+use maple_bench::experiments::{decoupling_suite, prefetch_suite, prior_work_suite, FleetLine};
 use maple_bench::rtt::measure_roundtrip;
-use maple_sim::stats::geomean;
+use maple_bench::summary::{build_json, HarnessLine};
 use maple_soc::config::SocConfig;
-use maple_trace::Json;
-
-/// Geomean of `num.cycles / den.cycles` across every (app, dataset).
-fn geomean_speedup(
-    rows: &[Measurement],
-    num_variant: &str,
-    den_variant: &str,
-) -> f64 {
-    let ratios: Vec<f64> = app_datasets()
-        .into_iter()
-        .map(|(app, ds)| {
-            let num = find(rows, &app, &ds, num_variant);
-            let den = find(rows, &app, &ds, den_variant);
-            num.cycles as f64 / den.cycles as f64
-        })
-        .collect();
-    geomean(&ratios)
-}
 
 fn main() {
+    let t0 = std::time::Instant::now();
     let fig08 = decoupling_suite();
     let fig09 = prefetch_suite();
     let fig12 = prior_work_suite();
-
-    let latencies: Vec<(String, Json)> = app_datasets()
-        .into_iter()
-        .map(|(app, ds)| {
-            let base = find(&fig09, &app, &ds, "doall");
-            let lima = find(&fig09, &app, &ds, "maple-lima");
-            (
-                format!("{app}/{ds}"),
-                Json::obj(vec![
-                    ("no_prefetch", Json::from(base.load_latency)),
-                    ("maple_lima", Json::from(lima.load_latency)),
-                ]),
-            )
-        })
-        .collect();
-    let reduction: Vec<f64> = app_datasets()
-        .into_iter()
-        .map(|(app, ds)| {
-            find(&fig09, &app, &ds, "doall").load_latency
-                / find(&fig09, &app, &ds, "maple-lima").load_latency
-        })
-        .collect();
+    let mut totals = FleetLine::default();
+    totals.absorb(&fig08.fleet);
+    totals.absorb(&fig09.fleet);
+    totals.absorb(&fig12.fleet);
 
     eprintln!("[bench_summary] measuring consume round trip...");
     let rtt = measure_roundtrip(SocConfig::fpga_prototype());
 
-    let doc = Json::obj(vec![
-        ("bench", Json::from("maple")),
-        (
-            "figures",
-            Json::obj(vec![
-                (
-                    "fig08",
-                    Json::obj(vec![
-                        (
-                            "maple_over_doall",
-                            Json::from(geomean_speedup(&fig08, "doall", "maple-dec")),
-                        ),
-                        (
-                            "maple_over_sw_decoupling",
-                            Json::from(geomean_speedup(&fig08, "sw-dec", "maple-dec")),
-                        ),
-                        ("paper_maple_over_doall", Json::from(1.51)),
-                        ("paper_maple_over_sw_decoupling", Json::from(2.27)),
-                    ]),
-                ),
-                (
-                    "fig09",
-                    Json::obj(vec![
-                        (
-                            "lima_over_no_prefetch",
-                            Json::from(geomean_speedup(&fig09, "doall", "maple-lima")),
-                        ),
-                        (
-                            "lima_over_sw_prefetch",
-                            Json::from(geomean_speedup(&fig09, "sw-pref", "maple-lima")),
-                        ),
-                        ("paper_lima_over_no_prefetch", Json::from(1.73)),
-                        ("paper_lima_over_sw_prefetch", Json::from(2.35)),
-                    ]),
-                ),
-                (
-                    "fig11",
-                    Json::obj(vec![
-                        (
-                            "lima_latency_reduction",
-                            Json::from(geomean(&reduction)),
-                        ),
-                        ("paper_lima_latency_reduction", Json::from(1.85)),
-                    ]),
-                ),
-                (
-                    "fig12",
-                    Json::obj(vec![
-                        (
-                            "maple_over_desc",
-                            Json::from(geomean_speedup(&fig12, "desc", "maple-dec")),
-                        ),
-                        (
-                            "maple_over_droplet",
-                            Json::from(geomean_speedup(&fig12, "droplet", "maple-dec")),
-                        ),
-                        ("paper_maple_over_desc", Json::from(1.72)),
-                        ("paper_maple_over_droplet", Json::from(1.82)),
-                    ]),
-                ),
-            ]),
-        ),
-        (
-            "mean_load_latency_cycles",
-            Json::Object(latencies),
-        ),
-        (
-            "consume_rtt_cycles",
-            Json::from(rtt.mean_rtt),
-        ),
-    ]);
+    let harness = HarnessLine {
+        jobs: totals.jobs,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        cache_hits: totals.cache_hits,
+        cache_misses: totals.cache_misses,
+    };
+    let doc = build_json(&fig08.rows, &fig09.rows, &fig12.rows, rtt.mean_rtt, &harness);
 
     let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     path.push("../../BENCH_maple.json");
     fs::write(&path, doc.render_pretty() + "\n").expect("write BENCH_maple.json");
+    eprintln!(
+        "[bench_summary] sweep {} (total wall {:.2}s)",
+        totals.render(),
+        harness.wall_seconds
+    );
+    let mut metrics = maple_trace::MetricsSnapshot::new();
+    totals.to_metrics("fleet", &mut metrics);
+    eprintln!("{}", metrics.render_table());
     println!("wrote {}", path.display());
     println!("{}", doc.render_pretty());
 }

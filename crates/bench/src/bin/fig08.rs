@@ -8,7 +8,8 @@ use maple_bench::experiments::{decoupling_suite, find, stall_rows_by_variant};
 use maple_bench::{FigureReport, SpeedupTable};
 
 fn main() {
-    let rows = decoupling_suite();
+    let run = decoupling_suite();
+    let rows = run.rows;
     let mut report = FigureReport::new(
         "fig08",
         "Figure 8 — decoupling (1 Access + 1 Execute) vs 2-thread do-all",
@@ -40,5 +41,6 @@ fn main() {
     report.line("MAPLE over doall (geomean)", g[2], "x", "1.51x");
     report.table = Some(table);
     report.stalls = stall_rows_by_variant(&rows, &["doall", "sw-dec", "maple-dec"]);
+    report.fleet = Some(run.fleet);
     report.emit();
 }

@@ -7,7 +7,8 @@ use maple_bench::experiments::{find, prefetch_suite, stall_rows_by_variant};
 use maple_bench::{FigureReport, SpeedupTable};
 
 fn main() {
-    let rows = prefetch_suite();
+    let run = prefetch_suite();
+    let rows = run.rows;
     let mut report = FigureReport::new(
         "fig09",
         "Figure 9 — prefetching IMAs, single thread",
@@ -39,5 +40,6 @@ fn main() {
     );
     report.table = Some(table);
     report.stalls = stall_rows_by_variant(&rows, &["doall", "sw-pref", "maple-lima"]);
+    report.fleet = Some(run.fleet);
     report.emit();
 }

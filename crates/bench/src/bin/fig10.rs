@@ -9,7 +9,8 @@ use maple_bench::experiments::{find, prefetch_suite, stall_rows_by_variant};
 use maple_bench::{FigureReport, SpeedupTable};
 
 fn main() {
-    let rows = prefetch_suite();
+    let run = prefetch_suite();
+    let rows = run.rows;
     let mut report = FigureReport::new(
         "fig10",
         "Figure 10 — normalized load-instruction count (single thread)",
@@ -34,5 +35,6 @@ fn main() {
     report.line("MAPLE load count (geomean)", g[2], "x", "slightly < 1x");
     report.table = Some(table);
     report.stalls = stall_rows_by_variant(&rows, &["doall", "sw-pref", "maple-lima"]);
+    report.fleet = Some(run.fleet);
     report.emit();
 }

@@ -9,7 +9,8 @@ use maple_bench::{FigureReport, SpeedupTable};
 use maple_sim::stats::geomean;
 
 fn main() {
-    let rows = prefetch_suite();
+    let run = prefetch_suite();
+    let rows = run.rows;
     let mut report = FigureReport::new(
         "fig11",
         "Figure 11 — average load latency in cycles (single thread)",
@@ -36,5 +37,6 @@ fn main() {
     );
     report.table = Some(table);
     report.stalls = stall_rows_by_variant(&rows, &["doall", "sw-pref", "maple-lima"]);
+    report.fleet = Some(run.fleet);
     report.emit();
 }

@@ -11,7 +11,8 @@ use maple_bench::{FigureReport, SpeedupTable};
 use maple_sim::stats::geomean;
 
 fn main() {
-    let rows = prior_work_suite();
+    let run = prior_work_suite();
+    let rows = run.rows;
     let mut report = FigureReport::new(
         "fig12",
         "Figure 12 — prior-work comparison (2 threads)",
@@ -46,5 +47,6 @@ fn main() {
     report.table = Some(table);
     report.stalls =
         stall_rows_by_variant(&rows, &["doall", "droplet", "desc", "maple-dec"]);
+    report.fleet = Some(run.fleet);
     report.emit();
 }

@@ -11,5 +11,6 @@ pub mod experiments;
 pub mod instances;
 pub mod report;
 pub mod rtt;
+pub mod summary;
 
 pub use report::{print_banner, FigureReport, SpeedupTable};

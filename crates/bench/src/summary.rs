@@ -1,0 +1,164 @@
+//! Builder for the aggregate `BENCH_maple.json` document.
+//!
+//! Factored out of the `bench_summary` binary so the determinism test
+//! can build the document from fixed inputs: the measurement-derived
+//! content is a pure function of the suite rows, while run-to-run
+//! numbers (wall-clock, worker count) enter only through the explicit
+//! [`HarnessLine`] argument — pass a fixed one and the rendered JSON is
+//! byte-identical at every `MAPLE_JOBS`.
+
+use maple_sim::stats::geomean;
+use maple_trace::Json;
+
+use crate::experiments::{find, Measurement};
+
+/// Run-to-run harness accounting included in the document: the total
+/// sweep wall-clock, the worker count, and the cache traffic.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessLine {
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// Total sweep wall-clock in seconds.
+    pub wall_seconds: f64,
+    /// Cases served from the fleet cache.
+    pub cache_hits: usize,
+    /// Cases that were simulated.
+    pub cache_misses: usize,
+}
+
+/// The (app, dataset) pairs present in `rows`, in first-appearance
+/// order. Derived from the rows (rather than the full evaluation matrix)
+/// so reduced suites — tests, partial reruns — summarize cleanly.
+#[must_use]
+pub fn pairs_of(rows: &[Measurement]) -> Vec<(String, String)> {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    for m in rows {
+        let p = (m.app.clone(), m.dataset.clone());
+        if !pairs.contains(&p) {
+            pairs.push(p);
+        }
+    }
+    pairs
+}
+
+/// Geomean of `num.cycles / den.cycles` across every (app, dataset) in
+/// `rows`.
+#[must_use]
+pub fn geomean_speedup(rows: &[Measurement], num_variant: &str, den_variant: &str) -> f64 {
+    let ratios: Vec<f64> = pairs_of(rows)
+        .into_iter()
+        .map(|(app, ds)| {
+            let num = find(rows, &app, &ds, num_variant);
+            let den = find(rows, &app, &ds, den_variant);
+            num.cycles as f64 / den.cycles as f64
+        })
+        .collect();
+    geomean(&ratios)
+}
+
+/// Builds the `BENCH_maple.json` document from the three suite row sets,
+/// the measured consume round trip, and the harness accounting.
+///
+/// Everything except `harness` is a pure function of the measurements.
+#[must_use]
+pub fn build_json(
+    fig08: &[Measurement],
+    fig09: &[Measurement],
+    fig12: &[Measurement],
+    consume_rtt: f64,
+    harness: &HarnessLine,
+) -> Json {
+    let latencies: Vec<(String, Json)> = pairs_of(fig09)
+        .into_iter()
+        .map(|(app, ds)| {
+            let base = find(fig09, &app, &ds, "doall");
+            let lima = find(fig09, &app, &ds, "maple-lima");
+            (
+                format!("{app}/{ds}"),
+                Json::obj(vec![
+                    ("no_prefetch", Json::from(base.load_latency)),
+                    ("maple_lima", Json::from(lima.load_latency)),
+                ]),
+            )
+        })
+        .collect();
+    let reduction: Vec<f64> = pairs_of(fig09)
+        .into_iter()
+        .map(|(app, ds)| {
+            find(fig09, &app, &ds, "doall").load_latency
+                / find(fig09, &app, &ds, "maple-lima").load_latency
+        })
+        .collect();
+
+    Json::obj(vec![
+        ("bench", Json::from("maple")),
+        (
+            "figures",
+            Json::obj(vec![
+                (
+                    "fig08",
+                    Json::obj(vec![
+                        (
+                            "maple_over_doall",
+                            Json::from(geomean_speedup(fig08, "doall", "maple-dec")),
+                        ),
+                        (
+                            "maple_over_sw_decoupling",
+                            Json::from(geomean_speedup(fig08, "sw-dec", "maple-dec")),
+                        ),
+                        ("paper_maple_over_doall", Json::from(1.51)),
+                        ("paper_maple_over_sw_decoupling", Json::from(2.27)),
+                    ]),
+                ),
+                (
+                    "fig09",
+                    Json::obj(vec![
+                        (
+                            "lima_over_no_prefetch",
+                            Json::from(geomean_speedup(fig09, "doall", "maple-lima")),
+                        ),
+                        (
+                            "lima_over_sw_prefetch",
+                            Json::from(geomean_speedup(fig09, "sw-pref", "maple-lima")),
+                        ),
+                        ("paper_lima_over_no_prefetch", Json::from(1.73)),
+                        ("paper_lima_over_sw_prefetch", Json::from(2.35)),
+                    ]),
+                ),
+                (
+                    "fig11",
+                    Json::obj(vec![
+                        ("lima_latency_reduction", Json::from(geomean(&reduction))),
+                        ("paper_lima_latency_reduction", Json::from(1.85)),
+                    ]),
+                ),
+                (
+                    "fig12",
+                    Json::obj(vec![
+                        (
+                            "maple_over_desc",
+                            Json::from(geomean_speedup(fig12, "desc", "maple-dec")),
+                        ),
+                        (
+                            "maple_over_droplet",
+                            Json::from(geomean_speedup(fig12, "droplet", "maple-dec")),
+                        ),
+                        ("paper_maple_over_desc", Json::from(1.72)),
+                        ("paper_maple_over_droplet", Json::from(1.82)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("mean_load_latency_cycles", Json::Object(latencies)),
+        ("consume_rtt_cycles", Json::from(consume_rtt)),
+        (
+            "harness",
+            Json::obj(vec![
+                ("jobs", Json::from(harness.jobs as u64)),
+                ("sweep_wall_seconds", Json::from(harness.wall_seconds)),
+                ("cache_hits", Json::from(harness.cache_hits as u64)),
+                ("cache_misses", Json::from(harness.cache_misses as u64)),
+            ]),
+        ),
+    ])
+}

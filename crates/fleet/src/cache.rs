@@ -1,0 +1,224 @@
+//! Content-addressed result cache.
+//!
+//! One file per entry, named by the 64-bit content key of the full case
+//! descriptor (see [`crate::digest`]). Because the *key* carries all the
+//! inputs — workload, dataset, variant, thread count, every `SocConfig`
+//! timing parameter, the fault schedule, a schema version — there is no
+//! invalidation logic at all: editing a configuration changes the keys of
+//! exactly the affected cases, whose old entries simply become garbage
+//! that a later [`ResultCache::clear`] can sweep. The old ad-hoc
+//! per-suite TSV caches required a manual delete to pick up config
+//! edits; this cache cannot serve a stale row by construction.
+//!
+//! Writes go through a temp file + rename so concurrent writers (e.g.
+//! two fleet workers finishing the same key after a racey double miss)
+//! leave a complete entry either way.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The workspace root, derived from this crate's compile-time manifest
+/// directory (`crates/fleet` → two `pop`s).
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+/// The default cache directory: `<target>/fleet-cache`, where `<target>`
+/// honors a runtime `CARGO_TARGET_DIR` (absolute, or relative to the
+/// workspace root) and otherwise falls back to the workspace `target/`.
+///
+/// This replaces the old hard-coded `../../target/bench-cache`, which
+/// broke whenever the binary's working directory was not the crate root.
+#[must_use]
+pub fn default_cache_dir() -> PathBuf {
+    let target = match std::env::var_os("CARGO_TARGET_DIR") {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            if dir.is_absolute() {
+                dir
+            } else {
+                workspace_root().join(dir)
+            }
+        }
+        None => workspace_root().join("target"),
+    };
+    target.join("fleet-cache")
+}
+
+/// A directory of content-addressed entries: `get`/`put` by 64-bit key,
+/// values are opaque strings (the bench layer stores TSV rows).
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ResultCache { root })
+    }
+
+    /// Opens the workspace-default cache (see [`default_cache_dir`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn open_default() -> io::Result<Self> {
+        Self::open(default_cache_dir())
+    }
+
+    /// The cache's root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.root.join(format!("{key:016x}.entry"))
+    }
+
+    /// Looks up an entry. `None` on a miss; an unreadable entry is a
+    /// miss, not an error (the caller will recompute and overwrite it).
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<String> {
+        fs::read_to_string(self.entry_path(key)).ok()
+    }
+
+    /// Stores an entry, replacing any previous value at this key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the entry cannot be
+    /// written.
+    pub fn put(&self, key: u64, value: &str) -> io::Result<()> {
+        let path = self.entry_path(key);
+        let tmp = self.root.join(format!(
+            ".{key:016x}.{}.tmp",
+            std::process::id()
+        ));
+        fs::write(&tmp, value)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Removes one entry if present.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error (not-found is *not* an error).
+    pub fn remove(&self, key: u64) -> io::Result<()> {
+        match fs::remove_file(self.entry_path(key)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Removes every entry (sweeps garbage left behind by key changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first underlying I/O error.
+    pub fn clear(&self) -> io::Result<()> {
+        for dirent in fs::read_dir(&self.root)? {
+            let path = dirent?.path();
+            if path.extension().is_some_and(|e| e == "entry") {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of entries currently stored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// read.
+    pub fn len(&self) -> io::Result<usize> {
+        let mut n = 0;
+        for dirent in fs::read_dir(&self.root)? {
+            if dirent?.path().extension().is_some_and(|e| e == "entry") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Whether the cache holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// read.
+    pub fn is_empty(&self) -> io::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "maple-fleet-cache-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_miss() {
+        let cache = ResultCache::open(scratch("rt")).unwrap();
+        assert_eq!(cache.get(42), None);
+        cache.put(42, "spmv\t2\t123\n").unwrap();
+        assert_eq!(cache.get(42).as_deref(), Some("spmv\t2\t123\n"));
+        assert_eq!(cache.get(43), None, "other keys unaffected");
+        cache.remove(42).unwrap();
+        assert_eq!(cache.get(42), None);
+        cache.remove(42).unwrap();
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let cache = ResultCache::open(scratch("clear")).unwrap();
+        for k in 0..5u64 {
+            cache.put(k, "x").unwrap();
+        }
+        assert_eq!(cache.len().unwrap(), 5);
+        assert!(!cache.is_empty().unwrap());
+        cache.clear().unwrap();
+        assert!(cache.is_empty().unwrap());
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn default_dir_lives_under_a_target_dir() {
+        let dir = default_cache_dir();
+        assert_eq!(dir.file_name().unwrap(), "fleet-cache");
+        let parent = dir.parent().unwrap().to_string_lossy().into_owned();
+        assert!(
+            parent.contains("target") || std::env::var_os("CARGO_TARGET_DIR").is_some(),
+            "unexpected cache parent: {parent}"
+        );
+    }
+
+    #[test]
+    fn workspace_root_holds_the_workspace_manifest() {
+        assert!(workspace_root().join("Cargo.toml").exists());
+    }
+}

@@ -58,7 +58,7 @@ pub mod runner;
 
 pub use gen::Gen;
 pub use maple_sim::rng::SimRng;
-pub use runner::{check, Config};
+pub use runner::{check, check_parallel, Config};
 
 /// Asserts a condition inside a property; on failure returns an error
 /// from the enclosing property function.

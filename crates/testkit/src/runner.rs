@@ -114,47 +114,104 @@ where
     for case in 0..cfg.cases {
         let cs = case_seed(cfg.seed, case);
         let value = gen.generate(&mut SimRng::seed(cs));
-        let Some(first_msg) = run_case(&prop, &value) else {
-            continue;
-        };
-
-        // Greedy descent: take the first candidate that still fails,
-        // restart from it, stop when no candidate fails or caps hit.
-        let mut cur = value.clone();
-        let mut cur_msg = first_msg.clone();
-        let mut rounds = 0u64;
-        let mut evals = 0u64;
-        'outer: while rounds < cfg.max_shrink_rounds {
-            for cand in gen.shrink(&cur) {
-                if evals >= cfg.max_shrink_candidates {
-                    break 'outer;
-                }
-                evals += 1;
-                if let Some(msg) = run_case(&prop, &cand) {
-                    cur = cand;
-                    cur_msg = msg;
-                    rounds += 1;
-                    continue 'outer;
-                }
-            }
-            break;
+        if let Some(first_msg) = run_case(&prop, &value) {
+            falsify(cfg, gen, &prop, case, value, first_msg);
         }
-
-        panic!(
-            "[maple-testkit] property '{name}' falsified\n\
-             \x20 case {case}/{cases}, base seed {seed:#018x}\n\
-             \x20 reproduce with: MAPLE_TESTKIT_SEED={seed:#x} cargo test {name}\n\
-             \x20 original input: {orig}\n\
-             \x20 original failure: {first_msg}\n\
-             \x20 shrunk input ({rounds} shrink rounds, {evals} candidate runs): {shrunk}\n\
-             \x20 shrunk failure: {cur_msg}",
-            name = cfg.name,
-            cases = cfg.cases,
-            seed = cfg.seed,
-            orig = clip(&format!("{value:?}"), 2000),
-            shrunk = clip(&format!("{cur:?}"), 4000),
-        );
     }
+}
+
+/// [`check`] with the case evaluations dispatched as one fleet batch
+/// (worker count from `MAPLE_JOBS`).
+///
+/// Each case's value is a pure function of `(seed, case index)` — the
+/// generator is re-run inside the job — so parallel evaluation observes
+/// exactly the cases the serial runner would. On failure, the *lowest*
+/// failing case index is shrunk and reported through the same tail as
+/// [`check`], so the failure report (seed, counterexample, message) is
+/// identical at every worker count. The shrink descent itself stays
+/// serial: each step depends on which candidate failed before it.
+///
+/// # Panics
+///
+/// Panics when the property is falsified (that is the failure report).
+pub fn check_parallel<G, F>(cfg: &Config, gen: &G, prop: F)
+where
+    G: Gen + Sync,
+    F: Fn(&G::Value) -> Result<(), String> + Sync,
+{
+    let prop = &prop;
+    let jobs: Vec<_> = (0..cfg.cases)
+        .map(|case| {
+            let cs = case_seed(cfg.seed, case);
+            move || {
+                let value = gen.generate(&mut SimRng::seed(cs));
+                run_case(prop, &value)
+            }
+        })
+        .collect();
+    let verdicts = maple_fleet::run_batch(&maple_fleet::FleetConfig::from_env(), jobs)
+        .into_results()
+        .unwrap_or_else(|(i, e)| {
+            panic!(
+                "[maple-testkit] property '{}' case {i} escaped run_case: {e}",
+                cfg.name
+            )
+        });
+    // Outcomes are in submission order, so "first Some" is the same case
+    // the serial runner would have stopped at.
+    if let Some((case, first_msg)) = verdicts
+        .into_iter()
+        .enumerate()
+        .find_map(|(i, v)| v.map(|msg| (i as u64, msg)))
+    {
+        let value = gen.generate(&mut SimRng::seed(case_seed(cfg.seed, case)));
+        falsify(cfg, gen, prop, case, value, first_msg);
+    }
+}
+
+/// The shared failure tail of [`check`]/[`check_parallel`]: greedy
+/// shrink descent, then the reproduction report as a panic.
+fn falsify<G, F>(cfg: &Config, gen: &G, prop: &F, case: u64, value: G::Value, first_msg: String) -> !
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    // Greedy descent: take the first candidate that still fails,
+    // restart from it, stop when no candidate fails or caps hit.
+    let mut cur = value.clone();
+    let mut cur_msg = first_msg.clone();
+    let mut rounds = 0u64;
+    let mut evals = 0u64;
+    'outer: while rounds < cfg.max_shrink_rounds {
+        for cand in gen.shrink(&cur) {
+            if evals >= cfg.max_shrink_candidates {
+                break 'outer;
+            }
+            evals += 1;
+            if let Some(msg) = run_case(prop, &cand) {
+                cur = cand;
+                cur_msg = msg;
+                rounds += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    panic!(
+        "[maple-testkit] property '{name}' falsified\n\
+         \x20 case {case}/{cases}, base seed {seed:#018x}\n\
+         \x20 reproduce with: MAPLE_TESTKIT_SEED={seed:#x} cargo test {name}\n\
+         \x20 original input: {orig}\n\
+         \x20 original failure: {first_msg}\n\
+         \x20 shrunk input ({rounds} shrink rounds, {evals} candidate runs): {shrunk}\n\
+         \x20 shrunk failure: {cur_msg}",
+        name = cfg.name,
+        cases = cfg.cases,
+        seed = cfg.seed,
+        orig = clip(&format!("{value:?}"), 2000),
+        shrunk = clip(&format!("{cur:?}"), 4000),
+    );
 }
 
 /// Runs the property once; `Some(message)` on failure (error or panic).
@@ -328,6 +385,45 @@ mod tests {
         // Integer halving toward the range floor lands exactly on the
         // boundary value.
         assert!(msg.contains("500"), "shrunk to the boundary: {msg}");
+    }
+
+    #[test]
+    fn parallel_runner_matches_serial_report() {
+        // check and check_parallel must produce the identical failure
+        // report: same falsified case, same shrunk counterexample, same
+        // message — regardless of worker scheduling.
+        let drive = |parallel: bool| {
+            let cfg = Config {
+                name: "no_big_values_par",
+                cases: 200,
+                seed: 0x5EED,
+                max_shrink_rounds: 1024,
+                max_shrink_candidates: 4096,
+            };
+            let g = gen::vec_of(gen::u64_in(0..256), 0, 20);
+            let prop = |v: &Vec<u64>| {
+                if v.iter().any(|&x| x >= 100) {
+                    Err(format!("contains big value: {v:?}"))
+                } else {
+                    Ok(())
+                }
+            };
+            let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                if parallel {
+                    check_parallel(&cfg, &g, prop);
+                } else {
+                    check(&cfg, &g, prop);
+                }
+            }));
+            panic_message(&*out.expect_err("property must be falsified"))
+        };
+        assert_eq!(drive(false), drive(true));
+    }
+
+    #[test]
+    fn parallel_runner_passes_clean_properties() {
+        let cfg = Config::new("always_true_par").with_cases(64);
+        check_parallel(&cfg, &gen::u64_any(), |_| Ok(()));
     }
 
     #[test]

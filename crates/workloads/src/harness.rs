@@ -80,6 +80,12 @@ pub struct FaultReport {
     pub shootdowns_injected: u64,
     /// Engines the driver retired after poisoning.
     pub engines_poisoned: u64,
+    /// Which rung of [`fallback_ladder`] this run executed at: 0 is the
+    /// requested variant, each degradation adds one. Stamped by
+    /// [`run_with_fallback`]/[`continue_fallback`] — the one source of
+    /// truth for "which attempt was this", so reports never have to
+    /// reverse-engineer it from variant labels.
+    pub ladder_rung: u64,
 }
 
 impl FaultReport {
@@ -326,14 +332,36 @@ impl FallbackOutcome {
 /// down [`fallback_ladder`] on a fresh system per attempt until a
 /// variant verifies. This is the driver-level graceful degradation: a
 /// failing MAPLE instance costs performance, never correctness.
+///
+/// Every attempt's stats are stamped with the ladder rung it executed at
+/// ([`FaultReport::ladder_rung`]).
 pub fn run_with_fallback(
     requested: Variant,
     threads: usize,
     mut run: impl FnMut(Variant, usize) -> RunStats,
 ) -> FallbackOutcome {
+    continue_fallback(requested, threads, None, &mut run)
+}
+
+/// The tail of [`run_with_fallback`] with the first rung's result
+/// optionally precomputed — callers that evaluate the requested variant
+/// in a fleet batch (e.g. the chaos oracle running it alongside the
+/// fault-free baseline) hand that result in as `first` and the ladder
+/// continues from rung 1 only if it did not verify.
+pub fn continue_fallback(
+    requested: Variant,
+    threads: usize,
+    first: Option<RunStats>,
+    run: &mut impl FnMut(Variant, usize) -> RunStats,
+) -> FallbackOutcome {
+    let mut first = first;
     let mut attempts = Vec::new();
-    for variant in fallback_ladder(requested) {
-        let stats = run(variant, threads);
+    for (rung, variant) in fallback_ladder(requested).into_iter().enumerate() {
+        let mut stats = match (rung, first.take()) {
+            (0, Some(precomputed)) => precomputed,
+            _ => run(variant, threads),
+        };
+        stats.faults.ladder_rung = rung as u64;
         let verified = stats.verified;
         attempts.push((variant, stats));
         if verified {
@@ -456,6 +484,7 @@ mod tests {
         let direct = run_with_fallback(Variant::MapleDecoupled, 2, |_, _| stats(true));
         assert!(!direct.degraded() && direct.verified());
         assert_eq!(direct.final_variant(), Variant::MapleDecoupled);
+        assert_eq!(direct.final_stats().faults.ladder_rung, 0);
         // Requested variant fails once: degrade exactly one rung.
         let mut calls = 0;
         let degraded = run_with_fallback(Variant::MapleDecoupled, 2, |v, _| {
@@ -464,12 +493,57 @@ mod tests {
         });
         assert!(degraded.degraded() && degraded.verified());
         assert_eq!(degraded.final_variant(), Variant::SwDecoupled);
+        assert_eq!(degraded.final_stats().faults.ladder_rung, 1);
         assert_eq!(calls, 2);
-        // Nothing verifies: every rung is attempted and recorded.
+        // Nothing verifies: every rung is attempted and recorded, each
+        // stamped with its position on the ladder.
         let hopeless = run_with_fallback(Variant::MapleDecoupled, 2, |_, _| stats(false));
         assert!(!hopeless.verified());
         assert_eq!(hopeless.attempts.len(), 3);
         assert_eq!(hopeless.final_variant(), Variant::Doall);
+        for (rung, (_, s)) in hopeless.attempts.iter().enumerate() {
+            assert_eq!(s.faults.ladder_rung, rung as u64);
+        }
+    }
+
+    #[test]
+    fn continue_fallback_consumes_a_precomputed_first_attempt() {
+        let stats = |verified| RunStats {
+            cycles: 77,
+            loads: 0,
+            mean_load_latency: 0.0,
+            verified,
+            cores: Vec::new(),
+            engine: (0, 0, 0, 0),
+            queue0_occupancy_mean: 0.0,
+            queues_produced: 0,
+            queues_consumed: 0,
+            queues_drained: true,
+            noc_injected: 0,
+            noc_delivered: 0,
+            hung: false,
+            faults: FaultReport::default(),
+            core_cycles: 0,
+            stall: Default::default(),
+        };
+        // A verifying precomputed first attempt: `run` is never called.
+        let out = continue_fallback(
+            Variant::MapleDecoupled,
+            2,
+            Some(stats(true)),
+            &mut |_, _| panic!("rung 0 was precomputed"),
+        );
+        assert_eq!(out.attempts.len(), 1);
+        assert_eq!(out.final_stats().faults.ladder_rung, 0);
+        // A failing first attempt: the ladder continues at rung 1.
+        let mut ran = Vec::new();
+        let out = continue_fallback(Variant::MapleDecoupled, 2, Some(stats(false)), &mut |v, _| {
+            ran.push(v);
+            stats(true)
+        });
+        assert_eq!(ran, vec![Variant::SwDecoupled]);
+        assert_eq!(out.attempts.len(), 2);
+        assert_eq!(out.final_stats().faults.ladder_rung, 1);
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! `(variant, threads)` pair on a fixed problem instance (see
 //! `tests/diff_oracle.rs` for the randomized drivers).
 
-use crate::harness::{run_with_fallback, FallbackOutcome, RunStats, Variant};
+use crate::harness::{continue_fallback, FallbackOutcome, RunStats, Variant};
+use maple_fleet::FleetConfig;
 use maple_sim::fault::FaultPlaneConfig;
 
 /// The variant/thread-count grid the oracle exercises on every instance.
@@ -89,23 +90,34 @@ pub fn check_cross(doall: &RunStats, label: &str, other: &RunStats) -> Result<()
 /// Runs the full variant grid on one instance and checks every per-run
 /// and cross-variant invariant.
 ///
+/// The grid cells are independent simulations, so they are dispatched as
+/// one fleet batch (worker count from `MAPLE_JOBS`); the batch returns
+/// stats in grid order, so the check sequence — and therefore which
+/// violation is reported first — is identical at every worker count.
+///
 /// # Errors
 ///
 /// Returns the kernel name, the offending variant and the violated
 /// invariant.
 pub fn differential_check(
     kernel: &str,
-    run: impl Fn(Variant, usize) -> RunStats,
+    run: impl Fn(Variant, usize) -> RunStats + Sync,
 ) -> Result<(), String> {
-    let (doall_variant, doall_threads) = ORACLE_VARIANTS[0];
-    debug_assert!(matches!(doall_variant, Variant::Doall));
-    let doall = run(doall_variant, doall_threads);
-    check_run(&format!("{kernel}/{}", doall_variant.label()), &doall)?;
-    for &(variant, threads) in &ORACLE_VARIANTS[1..] {
+    debug_assert!(matches!(ORACLE_VARIANTS[0].0, Variant::Doall));
+    let run = &run;
+    let jobs: Vec<_> = ORACLE_VARIANTS
+        .iter()
+        .map(|&(variant, threads)| move || run(variant, threads))
+        .collect();
+    let grid = maple_fleet::run_batch(&FleetConfig::from_env(), jobs)
+        .into_results()
+        .map_err(|(i, e)| format!("{kernel}/{}: {e}", ORACLE_VARIANTS[i].0.label()))?;
+    let doall = &grid[0];
+    check_run(&format!("{kernel}/{}", ORACLE_VARIANTS[0].0.label()), doall)?;
+    for (&(variant, _), stats) in ORACLE_VARIANTS[1..].iter().zip(&grid[1..]) {
         let label = format!("{kernel}/{}", variant.label());
-        let stats = run(variant, threads);
-        check_run(&label, &stats)?;
-        check_cross(&doall, &label, &stats)?;
+        check_run(&label, stats)?;
+        check_cross(doall, &label, stats)?;
     }
     Ok(())
 }
@@ -184,17 +196,36 @@ pub fn chaos_schedules(seed: u64) -> Vec<ChaosSchedule> {
 pub fn chaos_check(
     kernel: &str,
     schedule: &ChaosSchedule,
-    mut run: impl FnMut(Variant, usize, Option<&FaultPlaneConfig>) -> RunStats,
+    run: impl Fn(Variant, usize, Option<&FaultPlaneConfig>) -> RunStats + Sync,
 ) -> Result<(), String> {
     let label = format!("{kernel}/{}", schedule.name);
-    // Clean do-all baseline for the slowdown bound.
-    let doall = run(Variant::Doall, 2, None);
+    // The clean do-all baseline and the faulted MAPLE attempt are
+    // independent runs on fresh systems: dispatch them as one fleet
+    // batch, then walk the rest of the degradation ladder serially (each
+    // further rung depends on the previous one failing).
+    let run = &run;
+    let first_two: Vec<Box<dyn Fn() -> RunStats + Send + '_>> = vec![
+        Box::new(move || run(Variant::Doall, 2, None)),
+        Box::new(move || run(Variant::MapleDecoupled, 2, Some(&schedule.plane))),
+    ];
+    let mut batch = maple_fleet::run_batch(&FleetConfig::from_env(), first_two)
+        .into_results()
+        .map_err(|(i, e)| {
+            let which = if i == 0 { "doall-baseline" } else { "maple" };
+            format!("{label}/{which}: {e}")
+        })?;
+    let maple_first = batch.pop().expect("two jobs submitted");
+    let doall = batch.pop().expect("two jobs submitted");
     check_run(&format!("{label}/doall-baseline"), &doall)?;
 
-    let outcome: FallbackOutcome = run_with_fallback(Variant::MapleDecoupled, 2, |v, t| {
-        let plane = (v == Variant::MapleDecoupled).then_some(&schedule.plane);
-        run(v, t, plane)
-    });
+    // Degraded software attempts run clean: the driver has already
+    // retired the faulty instance.
+    let outcome: FallbackOutcome = continue_fallback(
+        Variant::MapleDecoupled,
+        2,
+        Some(maple_first),
+        &mut |v, t| run(v, t, None),
+    );
 
     // Invariant 1: no silent wrong answers — the standing output is
     // bit-exact, whether the MAPLE run recovered or the harness degraded.

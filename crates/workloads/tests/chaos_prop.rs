@@ -7,11 +7,12 @@
 //! ladder always terminates).
 //!
 //! Case count scales with `MAPLE_CHAOS_CASES` (the CI chaos stage sets
-//! it); failures print a `MAPLE_TESTKIT_SEED` reproduction line.
+//! it); cases dispatch through the `maple-fleet` pool (`MAPLE_JOBS`);
+//! failures print a `MAPLE_TESTKIT_SEED` reproduction line.
 
 use maple_sim::fault::FaultPlaneConfig;
 use maple_sim::rng::SimRng;
-use maple_testkit::{check, gen, Config};
+use maple_testkit::{check_parallel, gen, Config};
 use maple_workloads::data::{dense_vector, uniform_sparse};
 use maple_workloads::harness::{run_with_fallback, Variant};
 use maple_workloads::spmv::Spmv;
@@ -51,7 +52,7 @@ fn any_recoverable_schedule_completes_bit_exact_or_degrades() {
     let inputs = (gen::u64_any(), gen::usize_in(8..32), gen::u64_any());
     let cfg = Config::new("any_recoverable_schedule_completes_bit_exact_or_degrades")
         .with_cases(cases());
-    check(&cfg, &inputs, |&(plane_seed, rows, data_seed)| {
+    check_parallel(&cfg, &inputs, |&(plane_seed, rows, data_seed)| {
         let a = uniform_sparse(rows, 4 * 1024, 5, data_seed);
         let x = dense_vector(4 * 1024, data_seed ^ 0x51);
         let inst = Spmv { a, x };

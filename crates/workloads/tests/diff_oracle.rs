@@ -6,11 +6,13 @@
 //!
 //! Instances are deliberately tiny — the point is input-space coverage
 //! (empty rows, single rows, duplicate columns, skewed shapes,
-//! disconnected graphs), not throughput. Failures shrink toward the
-//! smallest instance that still violates an invariant and print a
+//! disconnected graphs), not throughput. Cases dispatch through the
+//! `maple-fleet` pool (`MAPLE_JOBS` controls the worker count; the
+//! failure report is identical at any setting). Failures shrink toward
+//! the smallest instance that still violates an invariant and print a
 //! `MAPLE_TESTKIT_SEED` reproduction line.
 
-use maple_testkit::{check, gen, Config, SimRng};
+use maple_testkit::{check_parallel, gen, Config, SimRng};
 use maple_workloads::bfs::Bfs;
 use maple_workloads::data::{dense_vector, Csr};
 use maple_workloads::oracle::differential_check;
@@ -47,7 +49,7 @@ fn spmv_all_variants_match_reference_and_conserve() {
     let inputs = (gen::usize_in(1..12), gen::u64_any(), gen::u64_any());
     let cfg = Config::new("spmv_all_variants_match_reference_and_conserve")
         .with_cases(INSTANCES);
-    check(&cfg, &inputs, |&(rows, csr_seed, x_seed)| {
+    check_parallel(&cfg, &inputs, |&(rows, csr_seed, x_seed)| {
         let a = random_csr(rows, 128, csr_seed);
         let x = dense_vector(128, x_seed);
         let inst = Spmv { a, x };
@@ -60,7 +62,7 @@ fn sdhp_all_variants_match_reference_and_conserve() {
     let inputs = (gen::usize_in(1..10), gen::u64_any(), gen::u64_any());
     let cfg = Config::new("sdhp_all_variants_match_reference_and_conserve")
         .with_cases(INSTANCES);
-    check(&cfg, &inputs, |&(rows, csr_seed, sdhp_seed)| {
+    check_parallel(&cfg, &inputs, |&(rows, csr_seed, sdhp_seed)| {
         let a = random_csr(rows, 128, csr_seed);
         let inst = Sdhp::from_sparse(&a, sdhp_seed);
         differential_check("sdhp", |v, t| inst.run(v, t))
@@ -76,7 +78,7 @@ fn bfs_all_variants_match_reference_and_conserve() {
     let inputs = (gen::usize_in(2..24), gen::u64_any());
     let cfg = Config::new("bfs_all_variants_match_reference_and_conserve")
         .with_cases(INSTANCES);
-    check(&cfg, &inputs, |&(verts, graph_seed)| {
+    check_parallel(&cfg, &inputs, |&(verts, graph_seed)| {
         let graph = random_csr(verts, verts, graph_seed);
         let root = (0..graph.nrows)
             .find(|&r| !graph.row_range(r).is_empty())

@@ -35,6 +35,20 @@ cargo test --offline --release -p maple-workloads --test chaos_oracle -q
 MAPLE_CHAOS_CASES="${MAPLE_CHAOS_CASES:-6}" \
     cargo test --offline --release -p maple-workloads --test chaos_prop -q
 
+echo "==> fleet: oracle grid must be bit-identical across worker counts"
+# The determinism contract of the maple-fleet executor: the full oracle
+# grid (differential variants x kernels + fixed-seed chaos schedules)
+# prints the same bytes no matter how many workers run it.
+MAPLE_JOBS=1 cargo run --offline --release -q -p maple-bench --bin oracle_grid \
+    > target/oracle_grid_jobs1.txt
+MAPLE_JOBS=4 cargo run --offline --release -q -p maple-bench --bin oracle_grid \
+    > target/oracle_grid_jobs4.txt
+if ! diff target/oracle_grid_jobs1.txt target/oracle_grid_jobs4.txt; then
+    echo "ERROR: oracle grid output differs between MAPLE_JOBS=1 and =4" >&2
+    exit 1
+fi
+echo "    fleet ok: $(wc -l < target/oracle_grid_jobs1.txt) grid rows identical at 1 and 4 workers"
+
 echo "==> lint: clippy, warnings are errors"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
