@@ -149,6 +149,26 @@ impl DropletPrefetcher {
     pub fn stats(&self) -> &DropletStats {
         &self.stats
     }
+
+    /// Earliest cycle at or after `now` at which ticking the prefetcher
+    /// could emit work: the deadline of the oldest scheduled decode.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.pending.next_deadline().map(|d| d.max(now))
+    }
+}
+
+impl maple_sim::Clocked for DropletPrefetcher {
+    type Ctx<'a> = ();
+
+    /// No-op: the owning L2 tile drives the inherent [`DropletPrefetcher::tick`]
+    /// (which returns the prefetch requests to inject); this impl exists so
+    /// the prefetcher participates in the event-horizon computation.
+    fn tick(&mut self, _now: Cycle, (): ()) {}
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        DropletPrefetcher::next_event(self, now)
+    }
 }
 
 #[cfg(test)]

@@ -16,5 +16,7 @@
 //!   queues + terminal loads, i.e. the core modification) and the
 //!   workloads that emit its instructions.
 
+#![deny(missing_docs)]
+
 pub mod droplet;
 pub mod swdec;

@@ -13,7 +13,8 @@ use std::path::PathBuf;
 
 use maple_bench::experiments::{decoupling_suite, prefetch_suite, prior_work_suite, FleetLine};
 use maple_bench::rtt::measure_roundtrip;
-use maple_bench::summary::{build_json, HarnessLine};
+use maple_bench::stepper::stall_heavy_comparison;
+use maple_bench::summary::{build_json, HarnessLine, StepperLine};
 use maple_soc::config::SocConfig;
 
 fn main() {
@@ -29,13 +30,34 @@ fn main() {
     eprintln!("[bench_summary] measuring consume round trip...");
     let rtt = measure_roundtrip(SocConfig::fpga_prototype());
 
+    eprintln!("[bench_summary] measuring stepper host throughput...");
+    let cmp = stall_heavy_comparison(0x57E9);
+    assert!(
+        cmp.divergence().is_none(),
+        "steppers diverged: {:?}",
+        cmp.divergence()
+    );
+    let stepper = StepperLine {
+        cycles: cmp.dense.stats.cycles,
+        dense_mcycles_per_sec: cmp.dense.mcycles_per_sec(),
+        skipping_mcycles_per_sec: cmp.skipping.mcycles_per_sec(),
+        speedup: cmp.speedup(),
+    };
+
     let harness = HarnessLine {
         jobs: totals.jobs,
         wall_seconds: t0.elapsed().as_secs_f64(),
         cache_hits: totals.cache_hits,
         cache_misses: totals.cache_misses,
     };
-    let doc = build_json(&fig08.rows, &fig09.rows, &fig12.rows, rtt.mean_rtt, &harness);
+    let doc = build_json(
+        &fig08.rows,
+        &fig09.rows,
+        &fig12.rows,
+        rtt.mean_rtt,
+        &harness,
+        Some(&stepper),
+    );
 
     let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     path.push("../../BENCH_maple.json");

@@ -1,0 +1,48 @@
+//! CI gate for the event-horizon scheduler: one stall-heavy SPMV config
+//! runs under both steppers; any divergence in the final cycle count,
+//! the run statistics, or the metrics-snapshot JSON fails the build.
+//! Doubles as the perf smoke: prints simulated Mcycles per host second
+//! for the dense and skipping loops and the resulting speedup.
+
+use maple_bench::report::FigureReport;
+use maple_bench::stepper::stall_heavy_comparison;
+
+fn main() {
+    let cmp = stall_heavy_comparison(0x57E9);
+    if let Some(msg) = cmp.divergence() {
+        eprintln!("[stepper_check] STEPPER DIVERGENCE\n{msg}");
+        std::process::exit(1);
+    }
+    let mut rep = FigureReport::new(
+        "stepper",
+        "Event-horizon stepper vs dense reference (SPMV do-all, DRAM 300cy)",
+        "n/a — host throughput, bit-exact by construction",
+    );
+    rep.line(
+        "simulated cycles",
+        cmp.dense.stats.cycles as f64,
+        " cy",
+        "—",
+    );
+    rep.line(
+        "dense host throughput",
+        cmp.dense.mcycles_per_sec(),
+        " Mcy/s",
+        "—",
+    );
+    rep.line(
+        "skipping host throughput",
+        cmp.skipping.mcycles_per_sec(),
+        " Mcy/s",
+        "—",
+    );
+    rep.line("stepper speedup", cmp.speedup(), "x", ">=2x acceptance");
+    rep.emit();
+    println!(
+        "stepper ok: bit-exact at {} cycles; dense {:.2} Mcy/s, skipping {:.2} Mcy/s ({:.1}x)",
+        cmp.dense.stats.cycles,
+        cmp.dense.mcycles_per_sec(),
+        cmp.skipping.mcycles_per_sec(),
+        cmp.speedup()
+    );
+}

@@ -7,10 +7,13 @@
 //! evaluation-grade problem sizes (gather targets far larger than the
 //! caches), and [`report`] renders the result tables.
 
+#![deny(missing_docs)]
+
 pub mod experiments;
 pub mod instances;
 pub mod report;
 pub mod rtt;
+pub mod stepper;
 pub mod summary;
 
 pub use report::{print_banner, FigureReport, SpeedupTable};

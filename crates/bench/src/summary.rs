@@ -26,6 +26,21 @@ pub struct HarnessLine {
     pub cache_misses: usize,
 }
 
+/// Host-throughput line for the two simulation steppers (dense reference
+/// vs event-horizon skipping), measured on the stall-heavy config of
+/// `crate::stepper`. Run-to-run varying, like [`HarnessLine`].
+#[derive(Debug, Clone, Default)]
+pub struct StepperLine {
+    /// Simulated cycles of the benchmark config (stepper-independent).
+    pub cycles: u64,
+    /// Dense-loop simulated Mcycles per host second.
+    pub dense_mcycles_per_sec: f64,
+    /// Skipping-loop simulated Mcycles per host second.
+    pub skipping_mcycles_per_sec: f64,
+    /// `skipping / dense` host-throughput ratio.
+    pub speedup: f64,
+}
+
 /// The (app, dataset) pairs present in `rows`, in first-appearance
 /// order. Derived from the rows (rather than the full evaluation matrix)
 /// so reduced suites — tests, partial reruns — summarize cleanly.
@@ -67,6 +82,7 @@ pub fn build_json(
     fig12: &[Measurement],
     consume_rtt: f64,
     harness: &HarnessLine,
+    stepper: Option<&StepperLine>,
 ) -> Json {
     let latencies: Vec<(String, Json)> = pairs_of(fig09)
         .into_iter()
@@ -90,7 +106,7 @@ pub fn build_json(
         })
         .collect();
 
-    Json::obj(vec![
+    let mut members = vec![
         ("bench", Json::from("maple")),
         (
             "figures",
@@ -160,5 +176,24 @@ pub fn build_json(
                 ("cache_misses", Json::from(harness.cache_misses as u64)),
             ]),
         ),
-    ])
+    ];
+    if let Some(s) = stepper {
+        members.push((
+            "stepper",
+            Json::obj(vec![
+                ("benchmark", Json::from("spmv doall, DRAM 300cy")),
+                ("simulated_cycles", Json::from(s.cycles)),
+                (
+                    "dense_mcycles_per_sec",
+                    Json::from(s.dense_mcycles_per_sec),
+                ),
+                (
+                    "skipping_mcycles_per_sec",
+                    Json::from(s.skipping_mcycles_per_sec),
+                ),
+                ("speedup", Json::from(s.speedup)),
+            ]),
+        ));
+    }
+    Json::obj(members)
 }

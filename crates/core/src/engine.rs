@@ -1022,7 +1022,15 @@ impl Engine {
         if self.fault.is_some() {
             return;
         }
-        if let Some(e) = self.tlb.lookup(va.page()) {
+        // Mirror `translate`: while the walker is busy, serve TLB hits
+        // through the non-mutating probe so retries queued behind the
+        // walker do not count as fresh misses every cycle.
+        let hit = if now < self.walker_free_at {
+            self.tlb.probe(va.page())
+        } else {
+            self.tlb.lookup(va.page())
+        };
+        if let Some(e) = hit {
             let paddr = e.frame.offset(va.page_offset());
             self.stats.llc_prefetches.inc();
             let id = self.fresh_txid();
@@ -1204,6 +1212,174 @@ impl Engine {
                 // Buffered (no polling) until data arrives.
             }
         }
+    }
+
+    /// Earliest cycle at or after `now` at which a translation attempt for
+    /// `va` could do something observable: immediately on a TLB hit or when
+    /// the walker is free (a walk start mutates the TLB and the walker);
+    /// never while a fault blocks the MMU (the unblocking event — driver
+    /// fault service or an MMIO `FAULT_RESUME` — is visible elsewhere).
+    fn translate_event(&self, now: Cycle, va: VAddr) -> Option<Cycle> {
+        if self.fault.is_some() {
+            return None;
+        }
+        if now < self.walker_free_at {
+            if self.tlb.probe(va.page()).is_some() {
+                Some(now) // busy-walker probe hit: the op proceeds this cycle
+            } else {
+                Some(self.walker_free_at) // retries until then are pure no-ops
+            }
+        } else {
+            Some(now)
+        }
+    }
+
+    /// Earliest cycle at or after `now` at which ticking the engine could
+    /// have an observable effect, for the event-horizon scheduler.
+    ///
+    /// Mirrors the pipeline stages of [`Engine::tick`] clause by clause.
+    /// The contract is *conservatively early, never late*: a reported cycle
+    /// where the dense loop would in fact do nothing only costs a wasted
+    /// tick, while a missed earlier mutation would diverge from the dense
+    /// reference. Heads that stall with per-cycle counter increments
+    /// (produce against a full queue, consume against an empty one) are
+    /// deliberately **not** events — [`Engine::skip`] accounts them in bulk.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = maple_sim::Horizon::IDLE;
+        // Outbound traffic the host tile must drain.
+        if !self.out_mem.is_empty() {
+            h.at(now);
+        }
+        h.observe(self.out_resp.next_deadline().map(|d| d.max(now)));
+        // Incoming MMIO operations finish decode at their deadline.
+        h.observe(self.incoming.next_deadline().map(|d| d.max(now)));
+        // Watchdog: the earliest fetch deadline (re-issue or poison).
+        if let Some(w) = self.watchdog {
+            for f in self.inflight.values() {
+                h.at(w.deadline(f.issued, f.retries).max(now));
+            }
+        }
+        // Produce pipeline: a head behind a free slot acts now (immediate
+        // data) or when its translation can act. Full queues are stalls.
+        for qi in 0..self.cfg.queues {
+            let Some(head) = self.produce_pending[qi].front() else {
+                continue;
+            };
+            if self.queues.queue(qi as u8).is_full() {
+                continue; // per-cycle produce_stalls: bulk-counted by skip()
+            }
+            match head.payload {
+                ProducePayload::Data(_) => h.at(now),
+                ProducePayload::Ptr { va, .. } | ProducePayload::AmoPtr { va, .. } => {
+                    h.observe(self.translate_event(now, va));
+                }
+            }
+        }
+        // Prefetch pipeline head (fault-blocked heads sit silently).
+        if let Some(head) = self.prefetch_pending.front() {
+            if let ProducePayload::Ptr { va, .. } = head.payload {
+                h.observe(self.translate_event(now, va));
+            }
+        }
+        // LIMA: buffered launches drain when the command queue has room;
+        // an idle unit activates a queued command the next tick.
+        if !self.lima_go_pending.is_empty() && self.lima_cmds.len() < self.cfg.lima_cmd_depth {
+            h.at(now);
+        }
+        if self.lima.is_none() && !self.lima_cmds.is_empty() {
+            h.at(now);
+        }
+        if let Some(active) = &self.lima {
+            // Fetch stage: room for another B chunk.
+            if active.next_fetch < active.cmd.hi
+                && active.chunks.len() < self.cfg.lima_chunks_inflight
+            {
+                let elem = u64::from(active.cmd.b_elem);
+                let va = active.cmd.b_base.offset(u64::from(active.next_fetch) * elem);
+                h.observe(self.translate_event(now, va));
+            }
+            // Process stage: a ready head chunk. The indirect target address
+            // lives in memory (unavailable here), so report `now`
+            // conservatively — except for the two cases the dense loop
+            // provably sits idle on: a non-speculative produce against a
+            // full queue (bulk-counted by skip()) or behind a pending fault.
+            if let Some(chunk) = active.chunks.front() {
+                if chunk.ready {
+                    if active.head_pos >= chunk.count {
+                        h.at(now); // the exhausted chunk retires this cycle
+                    } else if active.cmd.speculative {
+                        h.at(now); // prefetches even consume pending faults
+                    } else if !self.queues.queue(active.cmd.queue).is_full()
+                        && self.fault.is_none()
+                    {
+                        h.at(now);
+                    }
+                }
+            }
+        }
+        // Consume pipeline: a head with enough packed data pops this cycle
+        // (empty-queue heads are stalls, bulk-counted by skip()).
+        for qi in 0..self.cfg.queues {
+            let Some(head) = self.consume_pending[qi].front() else {
+                continue;
+            };
+            let q = self.queues.queue(qi as u8);
+            let n = (usize::from(head.size) / usize::from(q.entry_bytes())).max(1);
+            if q.ready_at_head() >= n {
+                h.at(now);
+            }
+        }
+        h.earliest()
+    }
+
+    /// Applies the per-cycle stall accounting the dense loop would have
+    /// performed over `cycles` skipped quiescent cycles.
+    ///
+    /// Must mirror exactly the counter increments [`Engine::tick`] makes on
+    /// a cycle where no head can progress: one `produce_stalls` per queue
+    /// whose produce head faces a full queue, one more if LIMA's
+    /// non-speculative produce head is blocked on a full queue, and one
+    /// `consume_stalls` per queue whose consume head lacks packed data.
+    pub fn skip(&mut self, cycles: u64) {
+        for qi in 0..self.cfg.queues {
+            if !self.produce_pending[qi].is_empty() && self.queues.queue(qi as u8).is_full() {
+                self.stats.produce_stalls.add(cycles);
+            }
+        }
+        if let Some(active) = &self.lima {
+            if let Some(chunk) = active.chunks.front() {
+                if chunk.ready
+                    && active.head_pos < chunk.count
+                    && !active.cmd.speculative
+                    && self.queues.queue(active.cmd.queue).is_full()
+                {
+                    self.stats.produce_stalls.add(cycles);
+                }
+            }
+        }
+        for qi in 0..self.cfg.queues {
+            let Some(head) = self.consume_pending[qi].front() else {
+                continue;
+            };
+            let q = self.queues.queue(qi as u8);
+            let n = (usize::from(head.size) / usize::from(q.entry_bytes())).max(1);
+            if q.ready_at_head() < n {
+                self.stats.consume_stalls.add(cycles);
+            }
+        }
+    }
+}
+
+impl maple_sim::Clocked for Engine {
+    type Ctx<'a> = &'a mut PhysMem;
+
+    fn tick(&mut self, now: Cycle, mem: &mut PhysMem) {
+        Engine::tick(self, now, mem);
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Engine::next_event(self, now)
     }
 }
 

@@ -33,6 +33,8 @@
 //! # }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod area;
 pub mod engine;
 pub mod mmio;

@@ -22,6 +22,8 @@
 //! transaction events into the trace. Tracing is pure observation: a
 //! traced run is cycle-identical to an untraced one.
 
+#![deny(missing_docs)]
+
 pub mod desc;
 
 use maple_isa::{AtomicOp, Inst, LdClass, Operand, Program, Reg, NUM_REGS};
@@ -730,6 +732,42 @@ impl Core {
         }
     }
 
+    /// Earliest cycle at or after `now` at which ticking this core could
+    /// have an observable effect, for the event-horizon scheduler.
+    ///
+    /// A running core acts when `next_ready` arrives (immediately if it is
+    /// already due); pending L1 traffic and staged responses carry their
+    /// own deadlines. A core blocked in [`CoreState::WaitingMem`] or
+    /// [`CoreState::Faulted`] reports no event of its own — the response
+    /// or the OS fault service that unblocks it is tracked by another
+    /// component's horizon — but accrues per-cycle stall counters, which
+    /// [`Core::skip`] catches up in bulk over skipped gaps.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = maple_sim::Horizon::IDLE;
+        h.observe(self.l1.next_event(now));
+        if self.state == CoreState::Running {
+            h.at(self.next_ready.max(now));
+        }
+        h.earliest()
+    }
+
+    /// Catches per-cycle stall accounting up across `cycles` skipped
+    /// (quiescent) cycles, exactly as the dense loop would have accrued it
+    /// one [`Core::tick`] at a time. The core's state cannot change inside
+    /// a skipped gap — anything that would change it is an event that
+    /// bounds the gap — so the per-cycle increment is constant across it.
+    pub fn skip(&mut self, cycles: u64) {
+        match self.state {
+            CoreState::WaitingMem => self.stats.mem_stall_cycles.add(cycles),
+            CoreState::Faulted => {
+                self.stats.fault_stall_cycles.add(cycles);
+                self.stats.stall.add(StallCause::FaultRecovery, cycles);
+            }
+            CoreState::Running | CoreState::Halted => {}
+        }
+    }
+
     /// Marks the start of a blocking memory stall (for attribution and
     /// tracing).
     fn begin_stall(&mut self, now: Cycle, waiting: WaitKind, addr: u64) {
@@ -789,6 +827,18 @@ impl Core {
         self.stats.instructions.inc();
         self.pc += 1;
         self.next_ready = now.plus(latency);
+    }
+}
+
+impl maple_sim::Clocked for Core {
+    type Ctx<'a> = (&'a mut PhysMem, Option<&'a mut DescQueues>);
+
+    fn tick(&mut self, now: Cycle, (mem, desc): Self::Ctx<'_>) {
+        Core::tick(self, now, mem, desc);
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Core::next_event(self, now)
     }
 }
 

@@ -229,10 +229,7 @@ where
     {
         let worker_loop = |me: usize| {
             let was_worker = IN_FLEET_WORKER.with(|f| f.replace(true));
-            loop {
-                let Some((idx, stolen)) = claim(&deques, me) else {
-                    break;
-                };
+            while let Some((idx, stolen)) = claim(&deques, me) {
                 if stolen {
                     steals.fetch_add(1, Ordering::Relaxed);
                 }
@@ -373,7 +370,7 @@ impl QuietPanics {
             let prev = panic::take_hook();
             panic::set_hook(Box::new(move |info| {
                 let me = std::thread::current().id();
-                let quiet = suppressed().lock().map_or(false, |s| s.contains(&me));
+                let quiet = suppressed().lock().is_ok_and(|s| s.contains(&me));
                 if !quiet {
                     prev(info);
                 }

@@ -24,6 +24,8 @@
 //! assert_eq!(prog.len(), 3);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod builder;
 
 /// Number of architectural registers.

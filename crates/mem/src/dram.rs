@@ -144,6 +144,22 @@ impl<T> Dram<T> {
         Some(token)
     }
 
+    /// Earliest cycle at or after `now` at which ticking the channel could
+    /// have an observable effect, for the event-horizon scheduler.
+    ///
+    /// A queued request with free outstanding capacity can issue this very
+    /// cycle; otherwise the next completion (which also frees capacity for
+    /// a queued request) bounds the horizon.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = maple_sim::Horizon::IDLE;
+        if !self.pending.is_empty() && self.in_flight.len() < self.cfg.max_outstanding {
+            h.at(now);
+        }
+        h.observe(self.in_flight.next_deadline().map(|d| d.max(now)));
+        h.earliest()
+    }
+
     /// Requests accepted but not yet completed.
     #[must_use]
     pub fn outstanding(&self) -> usize {
@@ -160,6 +176,18 @@ impl<T> Dram<T> {
     #[must_use]
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+}
+
+impl<T> maple_sim::Clocked for Dram<T> {
+    type Ctx<'a> = ();
+
+    fn tick(&mut self, now: Cycle, (): ()) {
+        Dram::tick(self, now);
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Dram::next_event(self, now)
     }
 }
 

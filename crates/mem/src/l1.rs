@@ -469,6 +469,24 @@ impl L1Cache {
         self.core_resp.recv(now)
     }
 
+    /// Earliest cycle at or after `now` at which this L1 could act, for
+    /// the event-horizon scheduler.
+    ///
+    /// Pending outgoing traffic (demand misses or buffered stores) pins the
+    /// horizon to `now` — the host tile paces [`L1Cache::pop_outgoing`]
+    /// once per stepped cycle. Otherwise the earliest staged core response
+    /// bounds it. In-flight fills need no term of their own: their memory
+    /// responses arrive through the NoC/L2, which carry their own horizons.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = maple_sim::Horizon::IDLE;
+        if !self.out.is_empty() || !self.store_buffer.is_empty() {
+            h.at(now);
+        }
+        h.observe(self.core_resp.next_deadline().map(|d| d.max(now)));
+        h.earliest()
+    }
+
     /// Whether any transaction is outstanding.
     #[must_use]
     pub fn is_idle(&self) -> bool {
@@ -488,6 +506,18 @@ impl L1Cache {
     #[must_use]
     pub fn contains_line(&self, addr: PAddr) -> bool {
         self.tags.probe(addr)
+    }
+}
+
+impl maple_sim::Clocked for L1Cache {
+    type Ctx<'a> = ();
+
+    /// The L1 is passive: its owning core drains responses and the host
+    /// tile drains outgoing traffic; there is no per-cycle work of its own.
+    fn tick(&mut self, _now: Cycle, (): ()) {}
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        L1Cache::next_event(self, now)
     }
 }
 

@@ -275,6 +275,25 @@ impl SharedL2 {
         }
     }
 
+    /// Earliest cycle at or after `now` at which ticking the L2 could have
+    /// an observable effect, for the event-horizon scheduler.
+    ///
+    /// Ready outbound responses pin the horizon to `now` (the host tile
+    /// drains them every stepped cycle); otherwise the next tag-stage
+    /// completion or DRAM event bounds it. MSHR waiters need no separate
+    /// term: they were created by a DRAM fetch whose completion is already
+    /// in the DRAM horizon.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = maple_sim::Horizon::IDLE;
+        if !self.out.is_empty() {
+            h.at(now);
+        }
+        h.observe(self.stage.next_deadline().map(|d| d.max(now)));
+        h.observe(self.dram.next_event(now));
+        h.earliest()
+    }
+
     /// Pops one response ready for NoC injection.
     pub fn pop_outgoing(&mut self) -> Option<OutboundResp> {
         if self.out.is_empty() {
@@ -320,6 +339,18 @@ impl SharedL2 {
     #[must_use]
     pub fn dram_stats(&self) -> &crate::dram::DramStats {
         self.dram.stats()
+    }
+}
+
+impl maple_sim::Clocked for SharedL2 {
+    type Ctx<'a> = &'a mut PhysMem;
+
+    fn tick(&mut self, now: Cycle, mem: &mut PhysMem) {
+        SharedL2::tick(self, now, mem);
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        SharedL2::next_event(self, now)
     }
 }
 

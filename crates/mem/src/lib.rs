@@ -39,6 +39,8 @@
 //! assert_eq!(l1.pop_core_resp(Cycle(332)).unwrap().data, 7);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod dram;
 pub mod l1;

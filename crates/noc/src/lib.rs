@@ -37,6 +37,8 @@
 //! }
 //! ```
 
+#![deny(missing_docs)]
+
 use std::collections::VecDeque;
 
 use maple_sim::stats::{Counter, Histogram};
@@ -467,6 +469,36 @@ impl<T> Mesh<T> {
         }
     }
 
+    /// Earliest cycle at or after `now` at which ticking the mesh could
+    /// have an observable effect, for the event-horizon scheduler.
+    ///
+    /// Conservative: any buffered packet or undrained delivery pins the
+    /// horizon to `now` — the mesh never skips while traffic is in flight
+    /// (arbitration, serialization and backpressure interact per cycle).
+    /// An empty mesh is quiescent; its only per-cycle state, the
+    /// round-robin pointers, is caught up in bulk by [`Mesh::skip`].
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.is_quiescent() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    /// Catches the mesh up over `cycles` skipped (quiescent) cycles.
+    ///
+    /// The dense loop rotates every router's round-robin arbitration
+    /// pointer once per [`Mesh::tick`] whether or not any packet moves;
+    /// skipping must apply the same rotation in bulk so the first
+    /// arbitration after a gap matches the dense reference bit-for-bit.
+    pub fn skip(&mut self, cycles: u64) {
+        let step = (cycles % PORTS as u64) as usize;
+        for start in &mut self.rr_start {
+            *start = (*start + step) % PORTS;
+        }
+    }
+
     /// Removes and returns every payload delivered at `node` so far.
     pub fn take_delivered(&mut self, node: Coord) -> Vec<T> {
         let i = self.idx(node);
@@ -498,6 +530,18 @@ impl<T> Mesh<T> {
     #[must_use]
     pub fn stats(&self) -> &MeshStats {
         &self.stats
+    }
+}
+
+impl<T> maple_sim::Clocked for Mesh<T> {
+    type Ctx<'a> = ();
+
+    fn tick(&mut self, now: Cycle, (): ()) {
+        Mesh::tick(self, now);
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Mesh::next_event(self, now)
     }
 }
 

@@ -13,6 +13,11 @@
 //!   occupancy).
 //! - [`rng`]: a deterministic, seedable random-number source so every
 //!   experiment is reproducible bit-for-bit.
+//! - [`Clocked`] and [`Horizon`]: the uniform component interface the
+//!   event-horizon scheduler is built on. Every timing component exposes
+//!   `tick` (advance one cycle) and `next_event` (earliest future cycle at
+//!   which it could act); the driver folds the answers into a [`Horizon`]
+//!   and fast-forwards the clock across provably-quiescent gaps.
 //!
 //! # Example
 //!
@@ -24,6 +29,8 @@
 //! assert_eq!(link.recv(Cycle(12)), None); // not yet delivered
 //! assert_eq!(link.recv(Cycle(13)), Some("hello"));
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod fault;
 pub mod link;
@@ -92,6 +99,76 @@ impl Sub<Cycle> for Cycle {
 impl From<u64> for Cycle {
     fn from(v: u64) -> Self {
         Cycle(v)
+    }
+}
+
+/// The uniform interface between timing components and the scheduler.
+///
+/// A clocked component does two things:
+///
+/// - [`tick`](Clocked::tick) advances it across one cycle boundary, with
+///   whatever external context it needs threaded in through the generic
+///   associated [`Ctx`](Clocked::Ctx) type (backing memory, descriptor
+///   queues, …). Components with no external needs use `Ctx<'a> = ()`.
+/// - [`next_event`](Clocked::next_event) reports the earliest cycle at or
+///   after `now` at which ticking the component could have *any* observable
+///   effect: state transitions, message deliveries, and also pure
+///   bookkeeping such as per-cycle stall counters. `None` means the
+///   component is quiescent forever absent external input.
+///
+/// The contract that makes quiescence skipping bit-exact: `next_event` may
+/// be conservatively **early** (the driver ticks a component that then does
+/// nothing — wasted host work, still correct) but must never be **late** (a
+/// skipped cycle in which the component would have acted diverges from the
+/// dense reference). Answers earlier than `now` are treated as `now`.
+///
+/// Everything is statically dispatched: the SoC driver folds the per-field
+/// `next_event` answers into a [`Horizon`] without any `&mut dyn` objects.
+pub trait Clocked {
+    /// External context `tick` borrows for one cycle (e.g. the backing
+    /// physical memory). `()` when the component is self-contained.
+    type Ctx<'a>;
+
+    /// Advances the component across the cycle boundary at `now`.
+    fn tick(&mut self, now: Cycle, ctx: Self::Ctx<'_>);
+
+    /// Earliest cycle at or after `now` at which ticking could have an
+    /// observable effect, or `None` when the component is quiescent until
+    /// external input arrives.
+    fn next_event(&self, now: Cycle) -> Option<Cycle>;
+}
+
+/// Accumulator folding per-component [`Clocked::next_event`] answers into
+/// the scheduler's horizon: the earliest cycle any component may act.
+///
+/// Identity is "no event" (`None`), so a fold over zero components yields a
+/// fully-quiescent horizon and the driver can jump straight to its budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Horizon(Option<Cycle>);
+
+impl Horizon {
+    /// A horizon with no events observed yet.
+    pub const IDLE: Horizon = Horizon(None);
+
+    /// Folds one component's `next_event` answer into the horizon.
+    pub fn observe(&mut self, event: Option<Cycle>) {
+        self.0 = match (self.0, event) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+    }
+
+    /// Folds a definite event at `cycle` into the horizon.
+    pub fn at(&mut self, cycle: Cycle) {
+        self.observe(Some(cycle));
+    }
+
+    /// The earliest observed event, or `None` when every component was
+    /// quiescent.
+    #[must_use]
+    pub fn earliest(self) -> Option<Cycle> {
+        self.0
     }
 }
 

@@ -75,6 +75,13 @@ impl<T> Link<T> {
         }
     }
 
+    /// The delivery time of the oldest in-flight message, if any. FIFO
+    /// order makes the front message the earliest.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Cycle> {
+        self.queue.front().map(|(deliver_at, _)| *deliver_at)
+    }
+
     /// Number of messages in flight (delivered or not).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -220,6 +227,20 @@ impl<T> DelayQueue<T> {
             out.push(m);
         }
         out
+    }
+}
+
+impl<T> crate::Clocked for DelayQueue<T> {
+    type Ctx<'a> = ();
+
+    /// Delivery queues advance passively — the owner pulls due messages
+    /// with [`DelayQueue::recv`]; there is no per-cycle work.
+    fn tick(&mut self, _now: Cycle, (): ()) {}
+
+    /// The earliest in-flight delivery, clamped to `now` (an overdue
+    /// message is receivable immediately).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.next_deadline().map(|d| d.max(now))
     }
 }
 

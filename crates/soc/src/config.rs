@@ -57,6 +57,12 @@ pub struct SocConfig {
     /// and is cycle-identical to a traced run (tracing is pure
     /// observation).
     pub trace: Option<TraceConfig>,
+    /// Drive `System::run` with the dense cycle-by-cycle reference loop
+    /// instead of the event-horizon skipping scheduler. The two steppers
+    /// are bit-exact by contract (enforced by the stepper differential
+    /// suite); this switch exists for that suite and for host-throughput
+    /// comparisons.
+    pub dense_stepper: bool,
 }
 
 impl SocConfig {
@@ -82,6 +88,7 @@ impl SocConfig {
             maple_tile_override: None,
             fault: None,
             trace: None,
+            dense_stepper: false,
         }
     }
 
@@ -160,6 +167,16 @@ impl SocConfig {
         self
     }
 
+    /// Selects the dense cycle-by-cycle reference stepper for
+    /// `System::run` instead of the default event-horizon skipping
+    /// scheduler. Bit-exact with the default (enforced by the stepper
+    /// differential suite) — only host throughput differs.
+    #[must_use]
+    pub fn with_dense_stepper(mut self) -> Self {
+        self.dense_stepper = true;
+        self
+    }
+
     /// Content digest over every timing-relevant parameter of the
     /// configuration, for use as (part of) a fleet cache key.
     ///
@@ -169,7 +186,9 @@ impl SocConfig {
     /// overrides and the full fault plane. **Excludes `trace`**: tracing
     /// is pure observation and cycle-identical by construction (asserted
     /// by the trace test suite), so a traced and an untraced run share a
-    /// cache entry.
+    /// cache entry. **Excludes `dense_stepper`** for the same reason: the
+    /// two steppers are bit-exact by contract (asserted by the stepper
+    /// differential suite), so they share a cache entry.
     pub fn digest_into(&self, d: &mut maple_fleet::Digest) {
         d.u64(u64::from(self.mesh_width))
             .u64(u64::from(self.mesh_height))

@@ -43,6 +43,8 @@
 //! assert_eq!(sys.core(core).reg(v), 7);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod compiler;
 pub mod config;
 pub mod os;

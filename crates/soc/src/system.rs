@@ -32,17 +32,16 @@ use crate::config::{SocConfig, TileLayout, MAPLE_PA_BASE};
 use crate::os::AddressSpace;
 
 /// Messages carried by the NoC.
+///
+/// Flit counts are *not* duplicated here: the NoC serialization cost lives
+/// solely in the (private) `OutMsg::flits` field and inside the mesh
+/// packet, so a response's size has a single source of truth.
 #[derive(Debug, Clone, Copy)]
 pub enum NocPayload {
     /// A memory/MMIO request heading to the L2 tile or a MAPLE tile.
     Req(MemReq),
     /// A response heading back to a requester tile.
-    Resp {
-        /// The response.
-        resp: MemResp,
-        /// NoC flits (9 for line data, 2 for words).
-        flits: u8,
-    },
+    Resp(MemResp),
 }
 
 #[derive(Debug)]
@@ -105,6 +104,27 @@ struct ChaosState {
     /// needed to unmap a poisoned instance.
     maple_vas: Vec<Option<VAddr>>,
     stats: ChaosStats,
+}
+
+impl ChaosState {
+    /// Earliest cycle at or after `now` at which the chaos plane must run:
+    /// the next scheduled reset or shootdown, or the earliest MMIO
+    /// watchdog deadline. Schedules are sorted, so only heads matter; the
+    /// watchdog deadline is a pure function of the watch entry, so a skip
+    /// landing exactly on it reproduces the dense scan's decision.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = maple_sim::Horizon::IDLE;
+        if let Some(&(at, _)) = self.resets.front() {
+            h.at(Cycle(at.max(now.0)));
+        }
+        if let Some(&(at, _)) = self.shootdowns.front() {
+            h.at(Cycle(at.max(now.0)));
+        }
+        for m in self.mmio_watch.values() {
+            h.at(self.watchdog.deadline(m.issued, m.retries).max(now));
+        }
+        h.earliest()
+    }
 }
 
 /// The assembled system.
@@ -415,6 +435,52 @@ impl System {
         self.out_uncore[t].send(self.now, self.cfg.uncore_latency, msg);
     }
 
+    /// Queues an outbound memory/MMIO request from `tile`, routing by
+    /// physical address and stamping the reply coordinate. When
+    /// `watch_core` names the issuing core and the chaos plane is active,
+    /// MAPLE-bound transactions go under MMIO watchdog observation (the
+    /// plane may drop the request or its response; the engine's dedup
+    /// cache makes re-sending the identical request safe).
+    fn send_req(&mut self, tile: Coord, mut req: MemReq, watch_core: Option<usize>) {
+        req.reply_to = tile;
+        let dst = self.route(req.addr);
+        let flits = req.flits();
+        if let Some(core) = watch_core {
+            if req.addr.0 >= MAPLE_PA_BASE {
+                if let Some(chaos) = &mut self.chaos {
+                    chaos.mmio_watch.insert(
+                        (core, req.id),
+                        MmioWatch {
+                            req,
+                            issued: self.now,
+                            retries: 0,
+                        },
+                    );
+                }
+            }
+        }
+        self.queue_out(
+            tile,
+            OutMsg {
+                dst,
+                flits,
+                payload: NocPayload::Req(req),
+            },
+        );
+    }
+
+    /// Queues an outbound response (engine ack/data or L2 fill) from `tile`.
+    fn send_resp(&mut self, tile: Coord, out: maple_mem::l2::OutboundResp) {
+        self.queue_out(
+            tile,
+            OutMsg {
+                dst: out.dst,
+                flits: out.flits,
+                payload: NocPayload::Resp(out.resp),
+            },
+        );
+    }
+
     fn is_maple_tile(&self, c: Coord) -> bool {
         self.layout.maple_tiles.contains(&c)
     }
@@ -546,19 +612,11 @@ impl System {
                     site: FaultSite::MmioRetry,
                 });
                 // The stall this transaction resolves is now recovery
-                // work; attribute it as such when it ends.
+                // work; attribute it as such when it ends. The watch entry
+                // was updated in place, so the retry is not re-watched.
                 self.cores[key.0].note_fault_retry();
                 let tile = self.layout.core_tiles[key.0];
-                let dst = self.route(req.addr);
-                let flits = req.flits();
-                self.queue_out(
-                    tile,
-                    OutMsg {
-                        dst,
-                        flits,
-                        payload: NocPayload::Req(req),
-                    },
-                );
+                self.send_req(tile, req, None);
             }
         }
     }
@@ -571,7 +629,7 @@ impl System {
             let tile = self.layout.core_tiles[i];
             for payload in self.mesh.take_delivered(tile) {
                 match payload {
-                    NocPayload::Resp { resp, .. } => {
+                    NocPayload::Resp(resp) => {
                         if let Some(chaos) = &mut self.chaos {
                             chaos.mmio_watch.remove(&(i, resp.id));
                         }
@@ -591,7 +649,7 @@ impl System {
                     }
                     self.l2.accept(now, req);
                 }
-                NocPayload::Resp { .. } => unreachable!("response delivered to L2 tile"),
+                NocPayload::Resp(_) => unreachable!("response delivered to L2 tile"),
             }
         }
         for e in 0..self.engines.len() {
@@ -599,7 +657,7 @@ impl System {
             for payload in self.mesh.take_delivered(tile) {
                 match payload {
                     NocPayload::Req(req) => self.engines[e].accept(now, req),
-                    NocPayload::Resp { resp, .. } => {
+                    NocPayload::Resp(resp) => {
                         self.engines[e].on_mem_resp(now, resp, &self.mem);
                     }
                 }
@@ -687,83 +745,26 @@ impl System {
             }
         }
 
-        // 4. Collect outbound messages into the uncore path.
+        // 4. Collect outbound messages into the uncore path (one shared
+        //    egress helper per message kind; see `send_req`/`send_resp`).
         for i in 0..self.cores.len() {
             let tile = self.layout.core_tiles[i];
-            while let Some(mut req) = self.cores[i].pop_mem_request() {
-                req.reply_to = tile;
-                let dst = self.route(req.addr);
-                let flits = req.flits();
-                // MMIO transactions to MAPLE pages go under watchdog
-                // observation: the plane may drop the request or its
-                // response, and the engine's dedup cache makes re-sending
-                // the identical request safe.
-                if req.addr.0 >= MAPLE_PA_BASE {
-                    if let Some(chaos) = &mut self.chaos {
-                        chaos.mmio_watch.insert(
-                            (i, req.id),
-                            MmioWatch {
-                                req,
-                                issued: now,
-                                retries: 0,
-                            },
-                        );
-                    }
-                }
-                self.queue_out(
-                    tile,
-                    OutMsg {
-                        dst,
-                        flits,
-                        payload: NocPayload::Req(req),
-                    },
-                );
+            while let Some(req) = self.cores[i].pop_mem_request() {
+                self.send_req(tile, req, Some(i));
             }
         }
         for e in 0..self.engines.len() {
             let tile = self.layout.maple_tiles[e];
-            while let Some(mut req) = self.engines[e].pop_mem_request() {
-                req.reply_to = tile;
-                let dst = self.route(req.addr);
-                let flits = req.flits();
-                self.queue_out(
-                    tile,
-                    OutMsg {
-                        dst,
-                        flits,
-                        payload: NocPayload::Req(req),
-                    },
-                );
+            while let Some(req) = self.engines[e].pop_mem_request() {
+                self.send_req(tile, req, None);
             }
             while let Some(out) = self.engines[e].pop_response(now) {
-                self.queue_out(
-                    tile,
-                    OutMsg {
-                        dst: out.dst,
-                        flits: out.flits,
-                        payload: NocPayload::Resp {
-                            resp: out.resp,
-                            flits: out.flits,
-                        },
-                    },
-                );
+                self.send_resp(tile, out);
             }
         }
-        {
-            let tile = self.layout.l2_tile;
-            while let Some(out) = self.l2.pop_outgoing() {
-                self.queue_out(
-                    tile,
-                    OutMsg {
-                        dst: out.dst,
-                        flits: out.flits,
-                        payload: NocPayload::Resp {
-                            resp: out.resp,
-                            flits: out.flits,
-                        },
-                    },
-                );
-            }
+        let l2_tile = self.layout.l2_tile;
+        while let Some(out) = self.l2.pop_outgoing() {
+            self.send_resp(l2_tile, out);
         }
 
         // 5. Inject due messages, preserving per-tile order under
@@ -800,7 +801,7 @@ impl System {
                     && (self.is_maple_tile(src)
                         || (self.is_maple_tile(msg.dst)
                             && match &msg.payload {
-                                NocPayload::Resp { .. } => true,
+                                NocPayload::Resp(_) => true,
                                 NocPayload::Req(req) => {
                                     matches!(req.kind, maple_mem::msg::MemReqKind::ReadWord { .. })
                                 }
@@ -840,7 +841,115 @@ impl System {
         self.now += 1;
     }
 
-    /// Runs until every loaded core halts or `max_cycles` elapse.
+    /// Terminal outcome after a step, if any: all cores halted, or an
+    /// engine was retired (poisoned) under the fault plane.
+    fn step_outcome(&self) -> Option<RunOutcome> {
+        if self.cores.iter().all(Core::is_halted) {
+            return Some(RunOutcome::Finished(self.now));
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.retired.iter().any(|&r| r) {
+                return Some(RunOutcome::Hung(Box::new(self.hang_diagnosis())));
+            }
+        }
+        None
+    }
+
+    /// Earliest cycle at or after `now` at which *any* component could act:
+    /// the event horizon. `None` means no component will ever act again
+    /// without external input — the system is wedged and only the cycle
+    /// budget remains.
+    ///
+    /// Every source of spontaneous activity contributes a term; anything
+    /// omitted here would let [`System::run`] skip over an observable
+    /// mutation and diverge from [`System::dense_run`]:
+    ///
+    /// - cores (ready-to-issue, L1 response/outbound traffic),
+    /// - engines (pipeline heads, decode/respond queues, fetch watchdog),
+    /// - the shared L2 and DRAM (staged requests, completions),
+    /// - DROPLET decode deadlines,
+    /// - the mesh (pinned to `now` while any packet is in flight),
+    /// - per-tile uncore egress queues and backpressured retries,
+    /// - pending page-fault service completions,
+    /// - the chaos plane (scheduled resets/shootdowns, MMIO watchdog
+    ///   deadlines, and a poisoned-but-not-yet-retired engine, which the
+    ///   next `chaos_stage` must observe),
+    /// - the next queue-occupancy sample (a scheduled event, so sampled
+    ///   cycles are identical to the dense reference).
+    fn horizon(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut h = maple_sim::Horizon::IDLE;
+        for core in &self.cores {
+            h.observe(core.next_event(now));
+        }
+        // A core ready to issue this cycle pins the horizon at `now` —
+        // the common case while compute proceeds. Bail before paying for
+        // the engine queue scans below; `run` skips nothing either way.
+        if h.earliest() == Some(now) {
+            return Some(now);
+        }
+        for engine in &self.engines {
+            h.observe(engine.next_event(now));
+        }
+        if h.earliest() == Some(now) {
+            return Some(now);
+        }
+        h.observe(self.l2.next_event(now));
+        if let Some(d) = &self.droplet {
+            h.observe(d.next_event(now));
+        }
+        h.observe(self.mesh.next_event(now));
+        for q in &self.out_uncore {
+            h.observe(q.next_deadline().map(|d| d.max(now)));
+        }
+        if self.out_retry.iter().any(|r| !r.is_empty()) {
+            h.at(now);
+        }
+        h.observe(self.fault_service.next_deadline().map(|d| d.max(now)));
+        if let Some(chaos) = &self.chaos {
+            h.observe(chaos.next_event(now));
+            if self
+                .engines
+                .iter()
+                .enumerate()
+                .any(|(e, eng)| eng.is_poisoned() && !chaos.retired[e])
+            {
+                h.at(now);
+            }
+        }
+        if !self.occupancy.is_empty() {
+            h.at(Cycle(now.0.next_multiple_of(OCCUPANCY_SAMPLE_PERIOD)));
+        }
+        h.earliest()
+    }
+
+    /// Fast-forwards to `target`, applying the per-cycle accounting the
+    /// dense loop would have performed on each skipped cycle: core stall
+    /// counters, engine produce/consume stall counters, and the mesh's
+    /// round-robin arbitration rotation. Everything else is provably
+    /// idle over the gap (that is what [`System::horizon`] established).
+    fn skip_to(&mut self, target: Cycle) {
+        let n = target.since(self.now);
+        if n == 0 {
+            return;
+        }
+        for core in &mut self.cores {
+            core.skip(n);
+        }
+        for engine in &mut self.engines {
+            engine.skip(n);
+        }
+        self.mesh.skip(n);
+        self.now = target;
+    }
+
+    /// Runs until every loaded core halts or `max_cycles` elapse, skipping
+    /// quiescent gaps: after each stepped cycle the run loop computes the
+    /// event horizon (`min` of every component's `next_event`) and
+    /// advances time straight to it. Produces bit-identical cycle counts,
+    /// statistics, traces and occupancy samples to [`System::dense_run`] —
+    /// the skipped cycles are exactly those on which the dense loop would
+    /// only have performed the bulk-applied accounting of `skip_to`.
     ///
     /// On expiry the outcome is [`RunOutcome::Hung`] carrying a
     /// structured [`HangDiagnosis`] (per-core stall reason, per-engine
@@ -848,20 +957,51 @@ impl System {
     /// fault plane, a run whose engine was retired (poisoned) returns
     /// early with the same diagnosis instead of burning the full budget.
     ///
+    /// When the configuration selects
+    /// [`SocConfig::with_dense_stepper`](crate::config::SocConfig::with_dense_stepper),
+    /// dispatches to [`System::dense_run`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if no program was loaded.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        if self.cfg.dense_stepper {
+            return self.dense_run(max_cycles);
+        }
         assert!(!self.cores.is_empty(), "load programs before running");
         while self.now.0 < max_cycles {
             self.step();
-            if self.cores.iter().all(Core::is_halted) {
-                return RunOutcome::Finished(self.now);
+            if let Some(outcome) = self.step_outcome() {
+                return outcome;
             }
-            if let Some(chaos) = &self.chaos {
-                if chaos.retired.iter().any(|&r| r) {
-                    return RunOutcome::Hung(Box::new(self.hang_diagnosis()));
-                }
+            // A non-quiescent mesh pins the horizon at `now` (packets move
+            // every cycle), so the full component scan below could only
+            // confirm there is nothing to skip — don't pay for it.
+            if !self.mesh.is_quiescent() {
+                continue;
+            }
+            let target = self.horizon().map_or(max_cycles, |h| h.0).min(max_cycles);
+            if target > self.now.0 {
+                self.skip_to(Cycle(target));
+            }
+        }
+        RunOutcome::Hung(Box::new(self.hang_diagnosis()))
+    }
+
+    /// The dense reference stepper: advances one cycle at a time with no
+    /// quiescence skipping. Semantically identical to [`System::run`] —
+    /// kept as the differential oracle for the event-horizon scheduler and
+    /// as the baseline for host-throughput comparisons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program was loaded.
+    pub fn dense_run(&mut self, max_cycles: u64) -> RunOutcome {
+        assert!(!self.cores.is_empty(), "load programs before running");
+        while self.now.0 < max_cycles {
+            self.step();
+            if let Some(outcome) = self.step_outcome() {
+                return outcome;
             }
         }
         RunOutcome::Hung(Box::new(self.hang_diagnosis()))
@@ -1085,6 +1225,9 @@ impl System {
             m.counter(format!("{p}/faults"), st.faults.get());
             m.counter(format!("{p}/fetch_retries"), st.fetch_retries.get());
             m.counter(format!("{p}/acks_dropped"), st.acks_dropped.get());
+            for (q, hist) in self.occupancy[e].iter().enumerate() {
+                m.histogram(format!("{p}/queue{q}/occupancy"), hist);
+            }
         }
         let l2 = self.l2.stats();
         m.counter("l2/hits", l2.hits.get());

@@ -1,0 +1,157 @@
+//! Scheduler edge cases for the event-horizon stepper: the skipping and
+//! dense run loops must stay bit-exact on the paths where skipping is
+//! most aggressive — a permanently-stalled system whose horizon is empty
+//! (the run jumps straight to the cycle budget), a chaos event landing
+//! exactly on a skipped-to cycle, and occupancy sampling across skipped
+//! gaps.
+
+use maple_isa::builder::ProgramBuilder;
+use maple_sim::fault::FaultPlaneConfig;
+use maple_sim::RunOutcome;
+use maple_soc::compiler::{KernelSpec, ValueOp};
+use maple_soc::config::SocConfig;
+use maple_soc::runtime::MapleApi;
+use maple_soc::system::System;
+
+/// A program that consumes from queue 0, which nothing ever produces
+/// into: the core parks in `WaitingMem` forever. With no fault plane
+/// there is no watchdog, so the system is permanently stalled and the
+/// event horizon is empty.
+fn load_starved_consumer(sys: &mut System) {
+    let maple_va = sys.map_maple(0);
+    let mut b = ProgramBuilder::new();
+    let base = b.reg("maple");
+    let v = b.reg("v");
+    let api = MapleApi::new(base);
+    api.consume(&mut b, 0, v, 4);
+    b.halt();
+    sys.load_program(b.build().unwrap(), &[(base, maple_va.0)]);
+}
+
+#[test]
+fn empty_horizon_hang_is_bit_exact_with_dense() {
+    // The skipping loop sees no component with a future event and jumps
+    // straight to the cycle budget; the dense loop grinds there one cycle
+    // at a time. Outcome, hang diagnosis, and every metric must agree.
+    const BUDGET: u64 = 200_000;
+    let run = |cfg: SocConfig| {
+        let mut sys = System::new(cfg);
+        load_starved_consumer(&mut sys);
+        let out = sys.run(BUDGET);
+        (out, sys)
+    };
+    let (skip_out, skip_sys) = run(SocConfig::fpga_prototype());
+    let (dense_out, dense_sys) = run(SocConfig::fpga_prototype().with_dense_stepper());
+
+    assert!(
+        matches!(skip_out, RunOutcome::Hung(_)),
+        "starved consumer must hang: {skip_out:?}"
+    );
+    assert_eq!(skip_out, dense_out, "hang diagnosis diverged");
+    assert_eq!(skip_out.cycle().0, BUDGET, "hang at budget expiry");
+    assert_eq!(
+        skip_sys.metrics_snapshot().to_json().render(),
+        dense_sys.metrics_snapshot().to_json().render(),
+        "metrics diverged on the empty-horizon hang path"
+    );
+}
+
+#[test]
+fn chaos_reset_fires_exactly_at_skipped_to_cycle() {
+    // Same starved consumer, but a fault plane schedules an engine RESET
+    // at cycle 5000 — deep inside the quiescent gap. The skipping loop
+    // must advance exactly TO the injection cycle (chaos events fire when
+    // `at <= now`), deliver the reset, and then agree with dense on every
+    // downstream effect (watchdog retries, poison, final diagnosis).
+    const BUDGET: u64 = 2_000_000;
+    let plane = || FaultPlaneConfig::new(7).with_engine_reset_at(5_000, 0);
+    let run = |cfg: SocConfig| {
+        let mut sys = System::new(cfg.with_fault_plane(plane()));
+        load_starved_consumer(&mut sys);
+        let out = sys.run(BUDGET);
+        (out, sys)
+    };
+    let (skip_out, skip_sys) = run(SocConfig::fpga_prototype());
+    let (dense_out, dense_sys) = run(SocConfig::fpga_prototype().with_dense_stepper());
+
+    let chaos = skip_sys.chaos_stats().expect("plane installed");
+    assert_eq!(
+        chaos.resets_injected.get(),
+        1,
+        "the scheduled reset must fire even though cycle 5000 is inside a \
+         quiescent gap"
+    );
+    assert_eq!(skip_out, dense_out, "post-reset behaviour diverged");
+    assert_eq!(
+        skip_sys.metrics_snapshot().to_json().render(),
+        dense_sys.metrics_snapshot().to_json().render(),
+        "metrics diverged after a reset landing on a skipped-to cycle"
+    );
+    let dense_chaos = dense_sys.chaos_stats().unwrap();
+    assert_eq!(chaos.resets_injected.get(), dense_chaos.resets_injected.get());
+    assert_eq!(chaos.mmio_timeouts.get(), dense_chaos.mmio_timeouts.get());
+    assert_eq!(chaos.mmio_retries.get(), dense_chaos.mmio_retries.get());
+}
+
+/// Runs the MAPLE-decoupled pair kernel and returns the outcome plus the
+/// finished system (for occupancy/metrics inspection).
+fn run_pair(cfg: SocConfig, n: usize, seed: u64) -> (RunOutcome, System) {
+    let spec = KernelSpec {
+        with_stream: true,
+        op: ValueOp::Mul,
+        with_store: true,
+    };
+    let mut rng = maple_sim::rng::SimRng::seed(seed);
+    let a: Vec<u32> = (0..1024).map(|_| rng.below(1000) as u32).collect();
+    let b: Vec<u32> = (0..n).map(|_| rng.below(1024) as u32).collect();
+    let c: Vec<u32> = (0..n).map(|_| rng.below(100) as u32).collect();
+    let mut sys = System::new(cfg);
+    let maple_va = sys.map_maple(0);
+    let va_a = sys.alloc((a.len() * 4) as u64);
+    let va_b = sys.alloc((b.len() * 4) as u64);
+    let va_c = sys.alloc((c.len() * 4) as u64);
+    let va_r = sys.alloc((b.len() * 4) as u64);
+    sys.write_slice_u32(va_a, &a);
+    sys.write_slice_u32(va_b, &b);
+    sys.write_slice_u32(va_c, &c);
+    let pair = spec.gen_maple_pair(0);
+    sys.load_program(
+        pair.access,
+        &[
+            (pair.access_args.a, va_a.0),
+            (pair.access_args.b, va_b.0),
+            (pair.access_args.n, b.len() as u64),
+            (pair.access_maple, maple_va.0),
+        ],
+    );
+    sys.load_program(
+        pair.execute,
+        &[
+            (pair.execute_args.c, va_c.0),
+            (pair.execute_args.res, va_r.0),
+            (pair.execute_args.n, b.len() as u64),
+            (pair.execute_maple, maple_va.0),
+        ],
+    );
+    let out = sys.run(5_000_000);
+    (out, sys)
+}
+
+#[test]
+fn occupancy_samples_identical_under_skipping() {
+    // Occupancy sampling is a scheduled event in the skipping loop (the
+    // next multiple of OCCUPANCY_SAMPLE_PERIOD is a horizon term), so the
+    // sampled cycles — and therefore the histograms — must be identical
+    // to the dense loop's modulo check. The metrics snapshot carries the
+    // per-queue occupancy histograms, so byte-identical JSON proves it.
+    let (skip_out, skip_sys) = run_pair(SocConfig::fpga_prototype(), 256, 11);
+    let (dense_out, dense_sys) =
+        run_pair(SocConfig::fpga_prototype().with_dense_stepper(), 256, 11);
+    assert!(skip_out.is_finished(), "{skip_out:?}");
+    assert_eq!(skip_out, dense_out, "completion cycle diverged");
+    assert_eq!(
+        skip_sys.metrics_snapshot().to_json().render(),
+        dense_sys.metrics_snapshot().to_json().render(),
+        "occupancy samples (or other metrics) diverged under skipping"
+    );
+}

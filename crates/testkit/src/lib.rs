@@ -53,6 +53,8 @@
 //! `MAPLE_TESTKIT_CASES` overrides the case count (e.g. a long overnight
 //! run with `MAPLE_TESTKIT_CASES=100000`).
 
+#![deny(missing_docs)]
+
 pub mod gen;
 pub mod runner;
 

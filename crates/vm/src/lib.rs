@@ -17,6 +17,8 @@
 //!   shootdown.
 //! - [`walker`]: walk-depth constants shared by every PTW timing model.
 
+#![deny(missing_docs)]
+
 pub mod addr;
 pub mod page_table;
 pub mod tlb;

@@ -108,7 +108,7 @@ impl FaultReport {
 }
 
 /// Per-core diagnostic detail.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreDetail {
     /// Instructions retired.
     pub instructions: u64,
@@ -119,7 +119,7 @@ pub struct CoreDetail {
 }
 
 /// Measured outcome of one kernel run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Total cycles to completion.
     pub cycles: u64,

@@ -3,6 +3,8 @@
 //! figures compare, with host-side reference implementations every run is
 //! verified against.
 
+#![deny(missing_docs)]
+
 pub mod bfs;
 pub mod data;
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! Stepper differential suite: the event-horizon skipping scheduler
+//! (`System::run`) must be **bit-exact** with the dense cycle-by-cycle
+//! reference loop (`System::dense_run`) — identical cycle counts, run
+//! statistics, fault reports, trace event streams, metrics snapshots and
+//! occupancy samples — across the oracle variant grid, the chaos
+//! schedule grid, and traced runs.
+//!
+//! The dense stepper is selected through the configuration
+//! (`SocConfig::with_dense_stepper`), which reaches every workload entry
+//! point via the `run_tuned` tuning closure.
+
+use maple_trace::TraceConfig;
+use maple_workloads::bfs::Bfs;
+use maple_workloads::data::{dense_vector, uniform_sparse};
+use maple_workloads::harness::{RunStats, Variant};
+use maple_workloads::oracle::{chaos_schedules, ORACLE_VARIANTS};
+use maple_workloads::sdhp::Sdhp;
+use maple_workloads::spmv::Spmv;
+
+/// Master seed: fixed so any divergence replays exactly.
+const SEED: u64 = 0x57E9_9E87;
+
+fn assert_same(kernel: &str, v: Variant, t: usize, skip: &RunStats, dense: &RunStats) {
+    assert_eq!(
+        skip, dense,
+        "{kernel} {v:?} x{t}: skipping stepper diverged from dense reference\n\
+         replay: SEED={SEED:#x}"
+    );
+    assert!(skip.verified, "{kernel} {v:?} x{t}: wrong result");
+}
+
+#[test]
+fn grid_spmv_bit_exact() {
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED);
+    let x = dense_vector(4 * 1024, SEED ^ 0x51);
+    let inst = Spmv { a, x };
+    // The oracle grid plus the variants it leaves out (LIMA command mode
+    // and software prefetch), so every load path crosses the stepper.
+    let grid: Vec<(Variant, usize)> = ORACLE_VARIANTS
+        .iter()
+        .copied()
+        .chain([(Variant::MapleLima, 1), (Variant::SwPrefetch { dist: 4 }, 1)])
+        .collect();
+    for (v, t) in grid {
+        let skip = inst.run(v, t);
+        let dense = inst.run_tuned(v, t, |c| c.with_dense_stepper());
+        assert_same("spmv", v, t, &skip, &dense);
+    }
+}
+
+#[test]
+fn grid_bfs_bit_exact() {
+    let graph = uniform_sparse(48, 48, 4, SEED ^ 0xB);
+    let root = (0..graph.nrows)
+        .find(|&r| !graph.row_range(r).is_empty())
+        .unwrap_or(0) as u32;
+    let inst = Bfs { graph, root };
+    for &(v, t) in &ORACLE_VARIANTS {
+        let skip = inst.run(v, t);
+        let dense = inst.run_tuned(v, t, |c| c.with_dense_stepper());
+        assert_same("bfs", v, t, &skip, &dense);
+    }
+}
+
+#[test]
+fn grid_sdhp_bit_exact() {
+    let a = uniform_sparse(24, 2048, 5, SEED ^ 0x5);
+    let inst = Sdhp::from_sparse(&a, SEED ^ 0x50);
+    for &(v, t) in &ORACLE_VARIANTS {
+        let skip = inst.run(v, t);
+        let dense = inst.run_tuned(v, t, |c| c.with_dense_stepper());
+        assert_same("sdhp", v, t, &skip, &dense);
+    }
+}
+
+#[test]
+fn chaos_grid_bit_exact() {
+    // Every named chaos schedule, including the deliberately
+    // unrecoverable ack blackout: injected faults, watchdog retries,
+    // poisons and the final hang diagnosis must be cycle-identical under
+    // both steppers (chaos injections are horizon terms, so a skipped-to
+    // cycle lands exactly on the injection).
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED ^ 0xC);
+    let x = dense_vector(4 * 1024, SEED ^ 0xC1);
+    let inst = Spmv { a, x };
+    for schedule in chaos_schedules(SEED) {
+        let plane = schedule.plane.clone();
+        let skip = inst.run_tuned(Variant::MapleDecoupled, 2, {
+            let p = plane.clone();
+            move |c| c.with_fault_plane(p)
+        });
+        let dense = inst.run_tuned(Variant::MapleDecoupled, 2, move |c| {
+            c.with_fault_plane(plane).with_dense_stepper()
+        });
+        assert_eq!(
+            skip, dense,
+            "chaos schedule `{}`: skipping diverged from dense\nreplay: SEED={SEED:#x}",
+            schedule.name
+        );
+        // No claim about recovery here (that is chaos_oracle's contract,
+        // which runs the full degradation ladder): only that both
+        // steppers tell the same story, hung or not.
+        assert_eq!(skip.hung, dense.hung);
+    }
+}
+
+#[test]
+fn traced_run_streams_identical() {
+    // Tracing observes individual cycles, so it is the sharpest probe of
+    // skipping correctness: every captured (cycle, event) record must be
+    // identical, as must the full metrics snapshot (which carries the
+    // occupancy histograms sampled on scheduled cycles).
+    let a = uniform_sparse(16, 2048, 4, SEED ^ 0x7);
+    let x = dense_vector(2048, SEED ^ 0x71);
+    let inst = Spmv { a, x };
+    let (skip_stats, skip_sys) = inst.run_observed(Variant::MapleDecoupled, 2, |c| {
+        c.with_tracing(TraceConfig::default())
+    });
+    let (dense_stats, dense_sys) = inst.run_observed(Variant::MapleDecoupled, 2, |c| {
+        c.with_tracing(TraceConfig::default()).with_dense_stepper()
+    });
+    assert_eq!(skip_stats, dense_stats, "stats diverged on traced run");
+    let skip_records = skip_sys.trace_records();
+    let dense_records = dense_sys.trace_records();
+    assert_eq!(
+        skip_records.len(),
+        dense_records.len(),
+        "trace record count diverged"
+    );
+    for (i, (s, d)) in skip_records.iter().zip(&dense_records).enumerate() {
+        assert_eq!(s, d, "trace record {i} diverged");
+    }
+    assert_eq!(
+        skip_sys.metrics_snapshot().to_json().render(),
+        dense_sys.metrics_snapshot().to_json().render(),
+        "metrics snapshot diverged on traced run"
+    );
+}

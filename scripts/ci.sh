@@ -49,6 +49,15 @@ if ! diff target/oracle_grid_jobs1.txt target/oracle_grid_jobs4.txt; then
 fi
 echo "    fleet ok: $(wc -l < target/oracle_grid_jobs1.txt) grid rows identical at 1 and 4 workers"
 
+echo "==> stepper: dense vs event-horizon skipping must be bit-exact"
+# One stall-heavy SPMV config runs under both steppers; the binary exits
+# nonzero on any divergence in the final cycle count, the run stats, or
+# the MetricsSnapshot JSON. Its closing line is the perf smoke: host
+# throughput (Mcycles/s) for both loops and the skipping speedup.
+cargo run --offline --release -q -p maple-bench --bin stepper_check \
+    | tee target/stepper_check.txt | tail -n 1
+grep -q "stepper ok: bit-exact" target/stepper_check.txt
+
 echo "==> lint: clippy, warnings are errors"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
