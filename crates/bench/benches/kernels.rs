@@ -76,7 +76,7 @@ fn run_noc_4x4_saturated_1k_ticks() -> u64 {
 
 fn run_engine_1k_data_produces() -> u64 {
     let mut engine = Engine::new(MapleConfig::default());
-    let mut mem = PhysMem::new();
+    let mem = PhysMem::new();
     let mut now = Cycle::ZERO;
     let mut acks = 0u64;
     for i in 0..1000u64 {
@@ -99,7 +99,7 @@ fn run_engine_1k_data_produces() -> u64 {
                 reply_to: Coord::default(),
             },
         );
-        engine.tick(now, &mut mem);
+        engine.tick(now, &mem);
         while engine.pop_response(now).is_some() {
             acks += 1;
         }

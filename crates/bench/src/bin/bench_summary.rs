@@ -13,8 +13,8 @@ use std::path::PathBuf;
 
 use maple_bench::experiments::{decoupling_suite, prefetch_suite, prior_work_suite, FleetLine};
 use maple_bench::rtt::measure_roundtrip;
-use maple_bench::stepper::stall_heavy_comparison;
-use maple_bench::summary::{build_json, HarnessLine, StepperLine};
+use maple_bench::stepper::{partitioned_sweep, stall_heavy_comparison};
+use maple_bench::summary::{build_json, HarnessLine, PartitionedLine, StepperLine};
 use maple_soc::config::SocConfig;
 
 fn main() {
@@ -44,6 +44,32 @@ fn main() {
         speedup: cmp.speedup(),
     };
 
+    eprintln!("[bench_summary] measuring partitioned stepper throughput...");
+    let sweep = partitioned_sweep(0x57E9, &[2, 4], None);
+    assert!(
+        sweep.divergence().is_none(),
+        "partitioned stepper diverged: {:?}",
+        sweep.divergence()
+    );
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let partitioned = PartitionedLine {
+        cycles: sweep.skipping.stats.cycles,
+        host_cores,
+        skipping_mcycles_per_sec: sweep.skipping.mcycles_per_sec(),
+        runs: sweep
+            .runs
+            .iter()
+            .map(|r| {
+                let n = r.partitions;
+                (
+                    n,
+                    r.run.mcycles_per_sec(),
+                    sweep.speedup_at(n).unwrap_or(f64::NAN),
+                )
+            })
+            .collect(),
+    };
+
     let harness = HarnessLine {
         jobs: totals.jobs,
         wall_seconds: t0.elapsed().as_secs_f64(),
@@ -57,6 +83,7 @@ fn main() {
         rtt.mean_rtt,
         &harness,
         Some(&stepper),
+        Some(&partitioned),
     );
 
     let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));

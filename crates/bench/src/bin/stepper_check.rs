@@ -3,11 +3,35 @@
 //! the run statistics, or the metrics-snapshot JSON fails the build.
 //! Doubles as the perf smoke: prints simulated Mcycles per host second
 //! for the dense and skipping loops and the resulting speedup.
+//!
+//! With `--partitions N` it instead runs the partitioned determinism
+//! gate: the same stall-heavy shape under MAPLE decoupling, once
+//! single-threaded and once sharded into `N` spatial partitions (worker
+//! count from `MAPLE_JOBS`/host parallelism), printing only
+//! host-independent lines so `ci.sh` can byte-diff the output across
+//! worker counts.
 
 use maple_bench::report::FigureReport;
-use maple_bench::stepper::stall_heavy_comparison;
+use maple_bench::stepper::{partitioned_gate, stall_heavy_comparison};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--partitions") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .expect("--partitions takes a positive integer");
+        match partitioned_gate(0x57E9, n) {
+            Ok(report) => println!("{report}"),
+            Err(msg) => {
+                eprintln!("[stepper_check] PARTITIONED STEPPER DIVERGENCE\n{msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let cmp = stall_heavy_comparison(0x57E9);
     if let Some(msg) = cmp.divergence() {
         eprintln!("[stepper_check] STEPPER DIVERGENCE\n{msg}");

@@ -114,3 +114,156 @@ pub fn compare_steppers(rows: usize, cols: usize, seed: u64) -> StepperCompariso
 pub fn stall_heavy_comparison(seed: u64) -> StepperComparison {
     compare_steppers(512, 64 * 1024, seed)
 }
+
+/// One timed run of the partitioned stepper at a given partition count.
+#[derive(Debug)]
+pub struct PartitionedRun {
+    /// Spatial partitions the mesh was sharded into.
+    pub partitions: usize,
+    /// The timed run (simulated content is stepper-independent).
+    pub run: StepperRun,
+}
+
+/// Partitioned-stepper throughput sweep: the single-threaded skipping
+/// baseline plus one partitioned run per requested partition count, all
+/// on the same scaled stall-heavy mesh.
+#[derive(Debug)]
+pub struct PartitionedSweep {
+    /// The single-threaded event-horizon baseline.
+    pub skipping: StepperRun,
+    /// One partitioned measurement per partition count.
+    pub runs: Vec<PartitionedRun>,
+}
+
+impl PartitionedSweep {
+    /// Host-throughput ratio of the run at `partitions` over the
+    /// single-threaded skipping baseline.
+    #[must_use]
+    pub fn speedup_at(&self, partitions: usize) -> Option<f64> {
+        self.runs
+            .iter()
+            .find(|r| r.partitions == partitions)
+            .map(|r| r.run.mcycles_per_sec() / self.skipping.mcycles_per_sec())
+    }
+
+    /// `None` when every partitioned run is bit-exact with the skipping
+    /// baseline; otherwise a rendered description of the first mismatch.
+    #[must_use]
+    pub fn divergence(&self) -> Option<String> {
+        for r in &self.runs {
+            if r.run.stats != self.skipping.stats {
+                return Some(format!(
+                    "run stats diverged at {} partitions:\npartitioned: {:?}\nskipping:    {:?}",
+                    r.partitions, r.run.stats, self.skipping.stats
+                ));
+            }
+            if r.run.metrics_json != self.skipping.metrics_json {
+                return Some(format!(
+                    "metrics snapshot JSON diverged at {} partitions",
+                    r.partitions
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Runs the scaled stall-heavy config — SPMV under MAPLE decoupling,
+/// 16 threads over 8 engines, a gather far beyond both cache levels —
+/// once single-threaded and once per entry of `partition_counts`.
+/// Workers per partitioned run come from `MAPLE_JOBS`/host parallelism
+/// unless `workers` pins them.
+#[must_use]
+pub fn partitioned_sweep(
+    seed: u64,
+    partition_counts: &[usize],
+    workers: Option<usize>,
+) -> PartitionedSweep {
+    let a = uniform_sparse(1024, 128 * 1024, 8, seed);
+    let x = dense_vector(128 * 1024, seed ^ 0x9);
+    let inst = Spmv { a, x };
+    let measure = |partitions: usize| {
+        let t0 = Instant::now();
+        let (stats, sys) = inst.run_observed(Variant::MapleDecoupled, 16, move |c| {
+            let c = c.with_maples(8);
+            let c = if partitions > 1 {
+                c.with_partitions(partitions)
+            } else {
+                c
+            };
+            match workers {
+                Some(w) if partitions > 1 => c.with_partition_workers(w),
+                _ => c,
+            }
+        });
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        assert!(!stats.hung, "benchmark config must complete");
+        StepperRun {
+            metrics_json: sys.metrics_snapshot().to_json().render(),
+            stats,
+            wall_seconds,
+        }
+    };
+    let skipping = measure(1);
+    let runs = partition_counts
+        .iter()
+        .map(|&n| PartitionedRun {
+            partitions: n,
+            run: measure(n),
+        })
+        .collect();
+    PartitionedSweep { skipping, runs }
+}
+
+/// The partitioned determinism gate behind `stepper_check --partitions`:
+/// the moderate stall-heavy config, run single-threaded and partitioned,
+/// rendered as **host-independent** lines (simulated facts and a content
+/// digest only — no wall-clock), so `ci.sh` can diff the bytes across
+/// `MAPLE_JOBS` values.
+///
+/// # Errors
+///
+/// Returns the rendered divergence when the partitioned run is not
+/// bit-exact with the single-threaded stepper.
+pub fn partitioned_gate(seed: u64, partitions: usize) -> Result<String, String> {
+    let a = uniform_sparse(512, 64 * 1024, 8, seed);
+    let x = dense_vector(64 * 1024, seed ^ 0x9);
+    let inst = Spmv { a, x };
+    let run = |partitions: usize| {
+        inst.run_observed(Variant::MapleDecoupled, 4, move |c| {
+            let c = c.with_maples(2);
+            if partitions > 1 {
+                c.with_partitions(partitions)
+            } else {
+                c
+            }
+        })
+    };
+    let (seq_stats, seq_sys) = run(1);
+    let (part_stats, part_sys) = run(partitions);
+    if part_stats != seq_stats {
+        return Err(format!(
+            "run stats diverged at {partitions} partitions:\npartitioned: {part_stats:?}\n\
+             single:      {seq_stats:?}"
+        ));
+    }
+    let seq_json = seq_sys.metrics_snapshot().to_json().render();
+    let part_json = part_sys.metrics_snapshot().to_json().render();
+    if part_json != seq_json {
+        return Err(format!(
+            "metrics snapshot JSON diverged at {partitions} partitions"
+        ));
+    }
+    let mut d = maple_fleet::Digest::new(0x5057);
+    d.str(&part_json);
+    Ok(format!(
+        "partitioned gate: {partitions} partitions\n\
+         simulated cycles: {}\n\
+         verified: {}\n\
+         metrics digest: {:#018x}\n\
+         partitioned ok: bit-exact across {partitions} partitions",
+        part_stats.cycles,
+        part_stats.verified,
+        d.finish()
+    ))
+}

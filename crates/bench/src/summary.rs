@@ -41,6 +41,25 @@ pub struct StepperLine {
     pub speedup: f64,
 }
 
+/// Host-throughput sweep of the partitioned parallel stepper against the
+/// single-threaded skipping baseline, measured on the scaled stall-heavy
+/// config of `crate::stepper`. Run-to-run varying, like [`HarnessLine`];
+/// `host_cores` is recorded because the achievable speedup is bounded by
+/// the host's parallelism (a 1-core container pins it at ~1.0x no matter
+/// the partition count).
+#[derive(Debug, Clone, Default)]
+pub struct PartitionedLine {
+    /// Simulated cycles of the benchmark config (stepper-independent).
+    pub cycles: u64,
+    /// Host CPUs available to the sweep (`available_parallelism`).
+    pub host_cores: usize,
+    /// Single-threaded skipping-loop simulated Mcycles per host second.
+    pub skipping_mcycles_per_sec: f64,
+    /// Per-partition-count measurements:
+    /// `(partitions, mcycles_per_sec, speedup_over_skipping)`.
+    pub runs: Vec<(usize, f64, f64)>,
+}
+
 /// The (app, dataset) pairs present in `rows`, in first-appearance
 /// order. Derived from the rows (rather than the full evaluation matrix)
 /// so reduced suites — tests, partial reruns — summarize cleanly.
@@ -83,6 +102,7 @@ pub fn build_json(
     consume_rtt: f64,
     harness: &HarnessLine,
     stepper: Option<&StepperLine>,
+    partitioned: Option<&PartitionedLine>,
 ) -> Json {
     let latencies: Vec<(String, Json)> = pairs_of(fig09)
         .into_iter()
@@ -192,6 +212,35 @@ pub fn build_json(
                     Json::from(s.skipping_mcycles_per_sec),
                 ),
                 ("speedup", Json::from(s.speedup)),
+            ]),
+        ));
+    }
+    if let Some(p) = partitioned {
+        let runs: Vec<Json> = p
+            .runs
+            .iter()
+            .map(|&(partitions, mcy, speedup)| {
+                Json::obj(vec![
+                    ("partitions", Json::from(partitions as u64)),
+                    ("mcycles_per_sec", Json::from(mcy)),
+                    ("speedup_over_skipping", Json::from(speedup)),
+                ])
+            })
+            .collect();
+        members.push((
+            "stepper_partitioned",
+            Json::obj(vec![
+                (
+                    "benchmark",
+                    Json::from("spmv maple-dec 16t/8e, DRAM 300cy"),
+                ),
+                ("simulated_cycles", Json::from(p.cycles)),
+                ("host_cores", Json::from(p.host_cores as u64)),
+                (
+                    "skipping_mcycles_per_sec",
+                    Json::from(p.skipping_mcycles_per_sec),
+                ),
+                ("runs", Json::Array(runs)),
             ]),
         ));
     }

@@ -598,7 +598,7 @@ impl Engine {
     }
 
     /// Advances the engine one cycle.
-    pub fn tick(&mut self, now: Cycle, mem: &mut PhysMem) {
+    pub fn tick(&mut self, now: Cycle, mem: &PhysMem) {
         self.watchdog_stage(now);
         self.dispatch_incoming(now);
         self.produce_stage(now, mem);
@@ -944,7 +944,7 @@ impl Engine {
         }
     }
 
-    fn produce_stage(&mut self, now: Cycle, mem: &mut PhysMem) {
+    fn produce_stage(&mut self, now: Cycle, mem: &PhysMem) {
         for qi in 0..self.cfg.queues {
             let Some(head) = self.produce_pending[qi].front().copied() else {
                 continue;
@@ -1011,7 +1011,7 @@ impl Engine {
         }
     }
 
-    fn prefetch_stage(&mut self, now: Cycle, mem: &mut PhysMem) {
+    fn prefetch_stage(&mut self, now: Cycle, mem: &PhysMem) {
         let Some(head) = self.prefetch_pending.front().copied() else {
             return;
         };
@@ -1062,7 +1062,7 @@ impl Engine {
         }
     }
 
-    fn lima_stage(&mut self, now: Cycle, mem: &mut PhysMem) {
+    fn lima_stage(&mut self, now: Cycle, mem: &PhysMem) {
         // Drain buffered launches as command-queue slots free up, acking
         // the stalled stores.
         while self.lima_cmds.len() < self.cfg.lima_cmd_depth {
@@ -1372,9 +1372,9 @@ impl Engine {
 }
 
 impl maple_sim::Clocked for Engine {
-    type Ctx<'a> = &'a mut PhysMem;
+    type Ctx<'a> = &'a PhysMem;
 
-    fn tick(&mut self, now: Cycle, mem: &mut PhysMem) {
+    fn tick(&mut self, now: Cycle, mem: &PhysMem) {
         Engine::tick(self, now, mem);
     }
 

@@ -105,7 +105,7 @@ impl Bench {
     /// wire delay each way (collapsed into the L2 stage for simplicity).
     fn run(&mut self, cycles: u64) {
         for _ in 0..cycles {
-            self.engine.tick(self.now, &mut self.mem);
+            self.engine.tick(self.now, &self.mem);
             while let Some(req) = self.engine.pop_mem_request() {
                 self.l2.accept(self.now, req);
             }
@@ -709,7 +709,7 @@ fn watchdog_retries_lost_fetch_and_completes() {
     // (a dropped NoC packet).
     let mut dropped = false;
     for _ in 0..5000 {
-        b.engine.tick(b.now, &mut b.mem);
+        b.engine.tick(b.now, &b.mem);
         while let Some(req) = b.engine.pop_mem_request() {
             if !dropped {
                 dropped = true;
@@ -746,7 +746,7 @@ fn watchdog_exhaustion_poisons_engine() {
     let id = b.store(StoreOp::ProducePtr, 0, 0x4000_0000);
     // Black-hole every memory request: the fetch can never complete.
     for _ in 0..5000 {
-        b.engine.tick(b.now, &mut b.mem);
+        b.engine.tick(b.now, &b.mem);
         while b.engine.pop_mem_request().is_some() {}
         while let Some(r) = b.engine.pop_response(b.now) {
             b.acks.push((r.resp.id, r.resp.data));
@@ -780,7 +780,7 @@ fn timed_out_amo_fetch_is_not_retried() {
     b.run_until_ack(op, 100);
     let _id = b.store(StoreOp::ProduceAmoAdd, 0, 0x4000_0000);
     for _ in 0..2000 {
-        b.engine.tick(b.now, &mut b.mem);
+        b.engine.tick(b.now, &b.mem);
         while b.engine.pop_mem_request().is_some() {}
         while let Some(r) = b.engine.pop_response(b.now) {
             b.acks.push((r.resp.id, r.resp.data));

@@ -29,7 +29,7 @@ pub mod desc;
 use maple_isa::{AtomicOp, Inst, LdClass, Operand, Program, Reg, NUM_REGS};
 use maple_mem::l1::{CoreOp, CoreReq, L1Cache, L1Config, L1Reject};
 use maple_mem::msg::{MemReq, MemResp, ServedBy};
-use maple_mem::phys::{AmoKind, PhysMem};
+use maple_mem::phys::{AmoKind, PhysMem, WriteStage};
 use maple_sim::stats::Counter;
 use maple_sim::Cycle;
 use maple_trace::{StallBreakdown, StallCause, TraceEvent, Tracer, WaitKind};
@@ -376,9 +376,20 @@ impl Core {
 
     /// Advances the core one cycle.
     ///
+    /// Memory is read-only during the tick; plain stores are staged into
+    /// `stage` and applied by the hub in core order at the end of the
+    /// cycle (see [`WriteStage`]) — which is what lets partitions of cores
+    /// tick in parallel against one shared memory image.
+    ///
     /// `desc` supplies the coupled queues when this core is half of a DeSC
     /// pair; MAPLE and software configurations pass `None`.
-    pub fn tick(&mut self, now: Cycle, mem: &mut PhysMem, mut desc: Option<&mut DescQueues>) {
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        mem: &PhysMem,
+        stage: &mut WriteStage,
+        mut desc: Option<&mut DescQueues>,
+    ) {
         // 1. Retire arrived memory responses.
         while let Some(resp) = self.l1.pop_core_resp(now) {
             if let Some(ticket) = self.desc_inflight.remove(&resp.id) {
@@ -500,7 +511,7 @@ impl Core {
                             }
                         };
                         let id = self.fresh_id();
-                        match self.l1.access(now, CoreReq { id, addr: t.paddr, op }, mem) {
+                        match self.l1.access(now, CoreReq { id, addr: t.paddr, op }, mem, stage) {
                             Ok(()) => {
                                 self.stats.loads.inc();
                                 self.waiting = Some(Waiting::Resp { id, rd: Some(rd) });
@@ -555,7 +566,7 @@ impl Core {
                         } else {
                             CoreOp::Store { size, data }
                         };
-                        match self.l1.access(now, CoreReq { id, addr: t.paddr, op }, mem) {
+                        match self.l1.access(now, CoreReq { id, addr: t.paddr, op }, mem, stage) {
                             Ok(()) => {
                                 self.stats.stores.inc();
                                 self.stats.instructions.inc();
@@ -610,7 +621,7 @@ impl Core {
                                 operand,
                             },
                         };
-                        match self.l1.access(now, req, mem) {
+                        match self.l1.access(now, req, mem, stage) {
                             Ok(()) => {
                                 self.stats.atomics.inc();
                                 self.stats.instructions.inc();
@@ -639,7 +650,7 @@ impl Core {
                             op: CoreOp::Prefetch,
                         };
                         // Prefetches never block and never fault.
-                        if self.l1.access(now, req, mem).is_ok() {
+                        if self.l1.access(now, req, mem, stage).is_ok() {
                             self.stats.prefetches.inc();
                         }
                         self.retire(now, 1);
@@ -707,7 +718,7 @@ impl Core {
                             addr: t.paddr,
                             op: CoreOp::Load { size },
                         };
-                        match self.l1.access(now, req, mem) {
+                        match self.l1.access(now, req, mem, stage) {
                             Ok(()) => {
                                 let queues =
                                     desc.expect("DeSC op without queues");
@@ -831,10 +842,10 @@ impl Core {
 }
 
 impl maple_sim::Clocked for Core {
-    type Ctx<'a> = (&'a mut PhysMem, Option<&'a mut DescQueues>);
+    type Ctx<'a> = (&'a PhysMem, &'a mut WriteStage, Option<&'a mut DescQueues>);
 
-    fn tick(&mut self, now: Cycle, (mem, desc): Self::Ctx<'_>) {
-        Core::tick(self, now, mem, desc);
+    fn tick(&mut self, now: Cycle, (mem, stage, desc): Self::Ctx<'_>) {
+        Core::tick(self, now, mem, stage, desc);
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {

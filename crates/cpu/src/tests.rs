@@ -84,9 +84,11 @@ impl Bench {
                     i += 1;
                 }
             }
+            let mut stage = WriteStage::new();
             for c in &mut self.cores {
-                c.tick(now, &mut self.mem, None);
+                c.tick(now, &self.mem, &mut stage, None);
             }
+            stage.apply(&mut self.mem);
             for ci in 0..self.cores.len() {
                 while let Some(req) = self.cores[ci].pop_mem_request() {
                     self.to_l2.push((now.plus(self.wire), ci, req));
@@ -241,8 +243,10 @@ fn unmapped_access_faults_and_resumes() {
 
     // Drive manually until faulted.
     let mut now = Cycle::ZERO;
+    let mut stage = WriteStage::new();
     for _ in 0..200 {
-        bench.cores[0].tick(now, &mut bench.mem, None);
+        bench.cores[0].tick(now, &bench.mem, &mut stage, None);
+        stage.apply(&mut bench.mem);
         if bench.cores[0].state() == CoreState::Faulted {
             break;
         }
@@ -363,8 +367,10 @@ fn mmio_stores_run_ahead_until_the_buffer_fills() {
     // Never ack: only 2 stores may issue.
     let mut issued = Vec::new();
     let mut now = Cycle::ZERO;
+    let mut stage = WriteStage::new();
     for _ in 0..500 {
-        core.tick(now, &mut mem, None);
+        core.tick(now, &mem, &mut stage, None);
+        stage.apply(&mut mem);
         while let Some(req) = core.pop_mem_request() {
             assert!(req.expects_response(), "MMIO store expects an ack");
             issued.push(req);
@@ -380,7 +386,8 @@ fn mmio_stores_run_ahead_until_the_buffer_fills() {
         core.on_mem_resp(now, MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
     }
     for _ in 0..500 {
-        core.tick(now, &mut mem, None);
+        core.tick(now, &mem, &mut stage, None);
+        stage.apply(&mut mem);
         while let Some(req) = core.pop_mem_request() {
             core.on_mem_resp(now.plus(10), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
         }
@@ -452,8 +459,10 @@ fn desc_pair_produces_and_consumes() {
     let mut l2 = SharedL2::new(L2Config::default(), DramConfig::default());
     let mut now = Cycle::ZERO;
     for _ in 0..100_000 {
-        access.tick(now, &mut mem, Some(&mut queues));
-        execute.tick(now, &mut mem, Some(&mut queues));
+        let mut stage = WriteStage::new();
+        access.tick(now, &mem, &mut stage, Some(&mut queues));
+        execute.tick(now, &mem, &mut stage, Some(&mut queues));
+        stage.apply(&mut mem);
         while let Some(req) = access.pop_mem_request() {
             l2.accept(now, req);
         }

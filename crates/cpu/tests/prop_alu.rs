@@ -125,8 +125,10 @@ fn core_matches_host_model() {
         let pt = PageTable::new(&mut mem, &mut frames);
         let mut core = Core::new(0, CpuConfig::default(), build(seeds, insts), pt);
         let mut now = Cycle::ZERO;
+        let mut stage = maple_mem::WriteStage::new();
         for _ in 0..(insts.len() * 8 + 100) {
-            core.tick(now, &mut mem, None);
+            core.tick(now, &mem, &mut stage, None);
+            stage.apply(&mut mem);
             if core.is_halted() {
                 break;
             }

@@ -1,0 +1,241 @@
+//! Long-lived worker gang for barrier-stepped parallel simulation.
+//!
+//! [`pool`](crate::pool) runs a *batch* of independent jobs to completion;
+//! a partitioned `System` run is the opposite shape — one job, stepped in
+//! millions of tiny synchronized rounds. Spawning threads per round would
+//! drown the work in overhead, so a [`Crew`] keeps its helpers alive for
+//! the whole run: each round the hub publishes an epoch, helpers race
+//! through the slots (claiming via an atomic cursor, one mutex-guarded
+//! slot at a time), and the hub spins until every slot reports done.
+//!
+//! Determinism falls out of the structure rather than the scheduling: a
+//! round applies one pure function to every slot, slots share nothing,
+//! and the hub alone touches cross-slot state between rounds. Which
+//! thread processes which slot — and with how many helpers — is therefore
+//! unobservable. The same closure with zero helpers is the sequential
+//! reference, which is how the soc crate's partitioned stepper proves
+//! itself bit-exact at any worker count.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// A fixed set of work slots plus the barrier state helpers synchronize
+/// on. Create with [`Crew::new`], drive rounds from inside [`Crew::run`],
+/// recover the slots with [`Crew::into_slots`].
+#[derive(Debug)]
+pub struct Crew<T> {
+    slots: Vec<Mutex<T>>,
+    epoch: AtomicU64,
+    cursor: AtomicUsize,
+    done: AtomicUsize,
+    stop: AtomicBool,
+}
+
+impl<T: Send> Crew<T> {
+    /// Wraps each item in its own slot.
+    #[must_use]
+    pub fn new(items: Vec<T>) -> Self {
+        Crew {
+            slots: items.into_iter().map(Mutex::new).collect(),
+            epoch: AtomicU64::new(0),
+            cursor: AtomicUsize::new(usize::MAX),
+            done: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the crew has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Unwraps the slots back into their items, in slot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked while holding a slot.
+    #[must_use]
+    pub fn into_slots(self) -> Vec<T> {
+        self.slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("a crew worker panicked mid-round"))
+            .collect()
+    }
+
+    /// Runs `hub` on the calling thread with `helpers` extra worker
+    /// threads standing by; returns whatever `hub` returns. The hub
+    /// drives rounds through the [`Conductor`] it receives: each
+    /// [`Conductor::round`] applies `work` to every slot exactly once
+    /// (hub and helpers racing through the claim cursor) and returns only
+    /// when all slots are done. Between rounds the helpers spin idle and
+    /// the hub may lock any slot directly via [`Conductor::slot`].
+    pub fn run<R>(
+        &self,
+        helpers: usize,
+        work: &(impl Fn(usize, &mut T) + Sync),
+        hub: impl FnOnce(&Conductor<'_, T>) -> R,
+    ) -> R {
+        std::thread::scope(|s| {
+            for _ in 0..helpers {
+                s.spawn(|| {
+                    let mut seen = 0u64;
+                    loop {
+                        // Park until the hub opens a new round (or ends
+                        // the run). Yield inside the spin: helpers may
+                        // outnumber free host cores.
+                        loop {
+                            if self.stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            let e = self.epoch.load(Ordering::Acquire);
+                            if e != seen {
+                                seen = e;
+                                break;
+                            }
+                            std::hint::spin_loop();
+                            std::thread::yield_now();
+                        }
+                        self.drain(work);
+                    }
+                });
+            }
+            let out = hub(&Conductor { crew: self, work });
+            self.stop.store(true, Ordering::Release);
+            out
+        })
+    }
+
+    /// Claims and processes slots until the cursor runs past the end.
+    fn drain(&self, work: &impl Fn(usize, &mut T)) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::AcqRel);
+            if i >= self.slots.len() {
+                return;
+            }
+            let mut slot = self.slots[i].lock().expect("a crew worker panicked mid-round");
+            work(i, &mut slot);
+            drop(slot);
+            self.done.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// The hub's handle on an open [`Crew::run`] session.
+///
+/// A straggling helper that claims a slot just after the cursor reset
+/// still performs the *new* round's work (the hub publishes all round
+/// inputs before calling [`Conductor::round`]) and is counted by the same
+/// `done` barrier, so late wake-ups cannot duplicate or skip a slot.
+pub struct Conductor<'c, T> {
+    crew: &'c Crew<T>,
+    work: &'c (dyn Fn(usize, &mut T) + Sync),
+}
+
+impl<T: Send> Conductor<'_, T> {
+    /// Runs one barrier round: every slot is processed by `work` exactly
+    /// once; returns when the last slot completes. The calling (hub)
+    /// thread participates in the drain rather than just waiting.
+    pub fn round(&self) {
+        let crew = self.crew;
+        // Order matters: `done` must read zero and the cursor must point
+        // at slot 0 before any helper can observe the new epoch.
+        crew.done.store(0, Ordering::Release);
+        crew.cursor.store(0, Ordering::Release);
+        crew.epoch.fetch_add(1, Ordering::AcqRel);
+        crew.drain(&self.work);
+        while crew.done.load(Ordering::Acquire) < crew.slots.len() {
+            // Yield inside the wait: on hosts with fewer free cores than
+            // threads, a helper may hold the last claim while descheduled,
+            // and a pure spin would burn the hub's whole quantum.
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Locks slot `i` for direct hub access between rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked while holding the slot.
+    pub fn slot(&self, i: usize) -> MutexGuard<'_, T> {
+        self.crew.slots[i].lock().expect("a crew worker panicked mid-round")
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.crew.len()
+    }
+
+    /// Whether the crew has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crew.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every worker count must produce the identical slot trajectory.
+    fn run_rounds(helpers: usize, rounds: u64) -> Vec<u64> {
+        let crew = Crew::new(vec![0u64; 7]);
+        crew.run(
+            helpers,
+            &|i, slot: &mut u64| {
+                // Slot-dependent, round-dependent update: any duplicated
+                // or skipped application changes the result.
+                *slot = slot.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i as u64 + 1);
+            },
+            |conductor| {
+                for _ in 0..rounds {
+                    conductor.round();
+                }
+            },
+        );
+        crew.into_slots()
+    }
+
+    #[test]
+    fn rounds_are_worker_count_invariant() {
+        let reference = run_rounds(0, 100);
+        for helpers in [1, 2, 3, 8] {
+            assert_eq!(run_rounds(helpers, 100), reference, "helpers={helpers}");
+        }
+    }
+
+    #[test]
+    fn hub_can_edit_slots_between_rounds() {
+        let crew = Crew::new(vec![0u64; 3]);
+        let sum = crew.run(
+            2,
+            &|_, slot: &mut u64| *slot += 1,
+            |conductor| {
+                conductor.round();
+                for i in 0..conductor.len() {
+                    *conductor.slot(i) += 10;
+                }
+                conductor.round();
+                (0..conductor.len()).map(|i| *conductor.slot(i)).sum::<u64>()
+            },
+        );
+        assert_eq!(sum, 3 * 12);
+        assert_eq!(crew.into_slots(), vec![12, 12, 12]);
+    }
+
+    #[test]
+    fn zero_rounds_and_immediate_return_shut_down_cleanly() {
+        let crew = Crew::new(vec![(); 4]);
+        let answer = crew.run(3, &|_, ()| {}, |_| 41 + 1);
+        assert_eq!(answer, 42);
+        assert_eq!(crew.into_slots().len(), 4);
+    }
+}

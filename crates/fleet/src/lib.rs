@@ -12,6 +12,11 @@
 //!   order**; a panicking job becomes a typed [`pool::JobError`] without
 //!   poisoning the pool, and every job carries wall-clock and retry
 //!   accounting.
+//! - [`crew`]: a long-lived worker gang for *one* job stepped in many
+//!   synchronized rounds — the execution substrate of the soc crate's
+//!   partitioned parallel stepper. Rounds apply a pure function to
+//!   share-nothing slots, so results are bit-identical at any helper
+//!   count (including zero, the sequential reference).
 //! - [`digest`]: an in-tree FNV-1a/splitmix64 content digest used to form
 //!   cache keys from full case descriptors (workload, dataset, variant,
 //!   thread count, `SocConfig` timing parameters, fault schedule, schema
@@ -36,9 +41,11 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod crew;
 pub mod digest;
 pub mod pool;
 
 pub use cache::ResultCache;
+pub use crew::{Conductor, Crew};
 pub use digest::Digest;
-pub use pool::{run_batch, Batch, BatchStats, FleetConfig, JobError, JobOutcome, JobStats};
+pub use pool::{jobs_from_env, run_batch, Batch, BatchStats, FleetConfig, JobError, JobOutcome, JobStats};

@@ -13,7 +13,7 @@ use maple_sim::Cycle;
 
 use crate::cache::{CacheArray, CacheGeometry};
 use crate::msg::{MemReq, MemReqKind, MemResp, ServedBy};
-use crate::phys::{AmoKind, PAddr, PhysMem};
+use crate::phys::{AmoKind, PAddr, PhysMem, WriteStage};
 
 /// L1 configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +222,11 @@ impl L1Cache {
 
     /// Submits a core request.
     ///
+    /// Memory is read-only here; the functional effect of a plain store is
+    /// pushed onto `stage` and applied by the simulation hub in
+    /// deterministic core order at the end of the cycle (see
+    /// [`WriteStage`]).
+    ///
     /// # Errors
     ///
     /// Returns an [`L1Reject`] when a structural resource (MSHR, store
@@ -230,7 +235,8 @@ impl L1Cache {
         &mut self,
         now: Cycle,
         req: CoreReq,
-        mem: &mut PhysMem,
+        mem: &PhysMem,
+        stage: &mut WriteStage,
     ) -> Result<(), L1Reject> {
         match req.op {
             CoreOp::Load { size } => {
@@ -318,9 +324,10 @@ impl L1Cache {
                     return Err(L1Reject::StoreBufferFull);
                 }
                 self.stats.stores.inc();
-                // Functional write happens at acceptance; the line, if
-                // resident, stays resident (write-through, no allocate).
-                mem.write_uint(req.addr, size, data);
+                // Functional write is staged at acceptance and applied at
+                // end of cycle; the line, if resident, stays resident
+                // (write-through, no allocate).
+                stage.push(req.addr, size, data);
                 if self.tags.probe(req.addr) {
                     self.tags.access(req.addr);
                 }
@@ -525,8 +532,12 @@ impl maple_sim::Clocked for L1Cache {
 mod tests {
     use super::*;
 
-    fn l1() -> (L1Cache, PhysMem) {
-        (L1Cache::new(L1Config::default()), PhysMem::new())
+    fn l1() -> (L1Cache, PhysMem, WriteStage) {
+        (
+            L1Cache::new(L1Config::default()),
+            PhysMem::new(),
+            WriteStage::new(),
+        )
     }
 
     fn load(id: u64, addr: u64) -> CoreReq {
@@ -539,9 +550,9 @@ mod tests {
 
     #[test]
     fn miss_goes_out_hit_after_fill() {
-        let (mut c, mut mem) = l1();
+        let (mut c, mut mem, mut st) = l1();
         mem.write_u64(PAddr(0x1000), 77);
-        c.access(Cycle(0), load(1, 0x1000), &mut mem).unwrap();
+        c.access(Cycle(0), load(1, 0x1000), &mem, &mut st).unwrap();
         let req = c.pop_outgoing().expect("miss generates a fill");
         assert_eq!(req.kind, MemReqKind::ReadLine);
         assert_eq!(req.addr, PAddr(0x1000));
@@ -553,7 +564,7 @@ mod tests {
             Some(CoreResp { id: 1, data: 77, served_by: ServedBy::Dram })
         );
         // Second access to the same line now hits with hit latency.
-        c.access(Cycle(200), load(2, 0x1008), &mut mem).unwrap();
+        c.access(Cycle(200), load(2, 0x1008), &mem, &mut st).unwrap();
         assert!(c.pop_outgoing().is_none(), "hit: no traffic");
         assert_eq!(c.pop_core_resp(Cycle(202)), Some(CoreResp { id: 2, data: 0, served_by: ServedBy::L1 }));
         assert_eq!(c.stats().loads.get(), 2);
@@ -562,11 +573,11 @@ mod tests {
 
     #[test]
     fn mshr_merging_single_fill() {
-        let (mut c, mut mem) = l1();
+        let (mut c, mut mem, mut st) = l1();
         mem.write_u64(PAddr(0x2000), 5);
         mem.write_u64(PAddr(0x2008), 6);
-        c.access(Cycle(0), load(1, 0x2000), &mut mem).unwrap();
-        c.access(Cycle(0), load(2, 0x2008), &mut mem).unwrap();
+        c.access(Cycle(0), load(1, 0x2000), &mem, &mut st).unwrap();
+        c.access(Cycle(0), load(2, 0x2008), &mem, &mut st).unwrap();
         let req = c.pop_outgoing().unwrap();
         assert!(c.pop_outgoing().is_none(), "second load merged into MSHR");
         c.on_mem_resp(Cycle(50), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
@@ -582,24 +593,28 @@ mod tests {
             ..L1Config::default()
         };
         let mut c = L1Cache::new(cfg);
-        let mut mem = PhysMem::new();
-        c.access(Cycle(0), load(1, 0x0000), &mut mem).unwrap();
-        c.access(Cycle(0), load(2, 0x1000), &mut mem).unwrap();
-        let err = c.access(Cycle(0), load(3, 0x2000), &mut mem).unwrap_err();
+        let mem = PhysMem::new();
+        let mut st = WriteStage::new();
+        c.access(Cycle(0), load(1, 0x0000), &mem, &mut st).unwrap();
+        c.access(Cycle(0), load(2, 0x1000), &mem, &mut st).unwrap();
+        let err = c.access(Cycle(0), load(3, 0x2000), &mem, &mut st).unwrap_err();
         assert_eq!(err, L1Reject::MshrFull);
         assert!(err.to_string().contains("MSHR"));
     }
 
     #[test]
     fn store_writes_through() {
-        let (mut c, mut mem) = l1();
+        let (mut c, mut mem, mut stage) = l1();
         let st = CoreReq {
             id: 9,
             addr: PAddr(0x3000),
             op: CoreOp::Store { size: 8, data: 42 },
         };
-        c.access(Cycle(0), st, &mut mem).unwrap();
-        assert_eq!(mem.read_u64(PAddr(0x3000)), 42, "functional write at once");
+        c.access(Cycle(0), st, &mem, &mut stage).unwrap();
+        assert_eq!(mem.read_u64(PAddr(0x3000)), 0, "staged, not yet applied");
+        stage.apply(&mut mem);
+        assert_eq!(mem.read_u64(PAddr(0x3000)), 42, "functional write at end of cycle");
+        assert!(stage.is_empty(), "apply drains the stage");
         let out = c.pop_outgoing().unwrap();
         assert!(matches!(
             out.kind,
@@ -620,7 +635,8 @@ mod tests {
             ..L1Config::default()
         };
         let mut c = L1Cache::new(cfg);
-        let mut mem = PhysMem::new();
+        let mem = PhysMem::new();
+        let mut st = WriteStage::new();
         for i in 0..2 {
             c.access(
                 Cycle(0),
@@ -629,10 +645,12 @@ mod tests {
                     addr: PAddr(0x100 + i * 8),
                     op: CoreOp::Store { size: 8, data: i },
                 },
-                &mut mem,
+                &mem,
+                &mut st,
             )
             .unwrap();
         }
+        assert_eq!(st.len(), 2, "both stores staged");
         let err = c
             .access(
                 Cycle(0),
@@ -641,7 +659,8 @@ mod tests {
                     addr: PAddr(0x200),
                     op: CoreOp::Store { size: 8, data: 3 },
                 },
-                &mut mem,
+                &mem,
+                &mut st,
             )
             .unwrap_err();
         assert_eq!(err, L1Reject::StoreBufferFull);
@@ -649,9 +668,9 @@ mod tests {
 
     #[test]
     fn volatile_load_bypasses_tags() {
-        let (mut c, mut mem) = l1();
+        let (mut c, mut mem, mut st) = l1();
         // Fill the line first via a demand load.
-        c.access(Cycle(0), load(1, 0x4000), &mut mem).unwrap();
+        c.access(Cycle(0), load(1, 0x4000), &mem, &mut st).unwrap();
         let fill = c.pop_outgoing().unwrap();
         c.on_mem_resp(Cycle(10), MemResp { id: fill.id, data: 0, served_by: ServedBy::Dram }, &mem);
         let _ = c.pop_core_resp(Cycle(12));
@@ -661,7 +680,7 @@ mod tests {
             addr: PAddr(0x4000),
             op: CoreOp::LoadVolatile { size: 8 },
         };
-        c.access(Cycle(20), v, &mut mem).unwrap();
+        c.access(Cycle(20), v, &mem, &mut st).unwrap();
         let fwd = c.pop_outgoing().expect("volatile bypasses the cache");
         assert_eq!(fwd.kind, MemReqKind::ReadWord { size: 8 });
         mem.write_u64(PAddr(0x4000), 1234);
@@ -674,7 +693,7 @@ mod tests {
 
     #[test]
     fn amo_and_mmio_forwarded() {
-        let (mut c, mut mem) = l1();
+        let (mut c, mem, mut st) = l1();
         c.access(
             Cycle(0),
             CoreReq {
@@ -686,7 +705,8 @@ mod tests {
                     operand: 1,
                 },
             },
-            &mut mem,
+            &mem,
+            &mut st,
         )
         .unwrap();
         assert!(matches!(
@@ -700,7 +720,8 @@ mod tests {
                 addr: PAddr(0xf000_0000),
                 op: CoreOp::MmioStore { size: 8, data: 5 },
             },
-            &mut mem,
+            &mem,
+            &mut st,
         )
         .unwrap();
         let ms = c.pop_outgoing().unwrap();
@@ -710,7 +731,7 @@ mod tests {
 
     #[test]
     fn prefetch_installs_line_without_response() {
-        let (mut c, mut mem) = l1();
+        let (mut c, mem, mut st) = l1();
         c.access(
             Cycle(0),
             CoreReq {
@@ -718,7 +739,8 @@ mod tests {
                 addr: PAddr(0x5000),
                 op: CoreOp::Prefetch,
             },
-            &mut mem,
+            &mem,
+            &mut st,
         )
         .unwrap();
         let req = c.pop_outgoing().unwrap();
@@ -735,7 +757,8 @@ mod tests {
                 addr: PAddr(0x5000),
                 op: CoreOp::Prefetch,
             },
-            &mut mem,
+            &mem,
+            &mut st,
         )
         .unwrap();
         assert!(c.pop_outgoing().is_none());
@@ -743,8 +766,8 @@ mod tests {
 
     #[test]
     fn load_latency_histogram_tracks_misses() {
-        let (mut c, mut mem) = l1();
-        c.access(Cycle(0), load(1, 0x6000), &mut mem).unwrap();
+        let (mut c, mem, mut st) = l1();
+        c.access(Cycle(0), load(1, 0x6000), &mem, &mut st).unwrap();
         let req = c.pop_outgoing().unwrap();
         c.on_mem_resp(Cycle(330), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);
         let _ = c.pop_core_resp(Cycle(332));
@@ -753,9 +776,9 @@ mod tests {
 
     #[test]
     fn idle_tracking() {
-        let (mut c, mut mem) = l1();
+        let (mut c, mem, mut st) = l1();
         assert!(c.is_idle());
-        c.access(Cycle(0), load(1, 0x0), &mut mem).unwrap();
+        c.access(Cycle(0), load(1, 0x0), &mem, &mut st).unwrap();
         assert!(!c.is_idle());
         let req = c.pop_outgoing().unwrap();
         c.on_mem_resp(Cycle(5), MemResp { id: req.id, data: 0, served_by: ServedBy::Dram }, &mem);

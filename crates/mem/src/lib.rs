@@ -3,10 +3,11 @@
 //! The crate follows a **functional/timing split**: a single sparse
 //! [`phys::PhysMem`] holds all data, while [`l1::L1Cache`], [`l2::SharedL2`]
 //! and [`dram::Dram`] model only *when* accesses complete. Loads read the
-//! backing store at completion, stores update it at acceptance, and atomics
-//! execute at the shared L2 — the one serialization point — so every
-//! parallel kernel in the workspace computes bit-exact results regardless
-//! of cache state. This mirrors how the paper's FPGA evaluation separates
+//! backing store at completion, stores are staged per core in a
+//! [`phys::WriteStage`] and applied in deterministic core order at the end
+//! of the acceptance cycle, and atomics execute at the shared L2 — the one
+//! serialization point — so every parallel kernel in the workspace
+//! computes bit-exact results regardless of cache state. This mirrors how the paper's FPGA evaluation separates
 //! correctness (the RTL) from the timing parameters it reports in Table 2.
 //!
 //! Components communicate over the NoC using [`msg::MemReq`] /
@@ -26,13 +27,14 @@
 //! ```
 //! use maple_mem::l1::{CoreOp, CoreReq, L1Cache, L1Config};
 //! use maple_mem::msg::{MemResp, ServedBy};
-//! use maple_mem::phys::{PAddr, PhysMem};
+//! use maple_mem::phys::{PAddr, PhysMem, WriteStage};
 //! use maple_sim::Cycle;
 //!
 //! let mut mem = PhysMem::new();
 //! mem.write_u64(PAddr(0x100), 7);
 //! let mut l1 = L1Cache::new(L1Config::default());
-//! l1.access(Cycle(0), CoreReq { id: 1, addr: PAddr(0x100), op: CoreOp::Load { size: 8 } }, &mut mem)
+//! let mut stage = WriteStage::new();
+//! l1.access(Cycle(0), CoreReq { id: 1, addr: PAddr(0x100), op: CoreOp::Load { size: 8 } }, &mem, &mut stage)
 //!     .expect("accepted");
 //! let fill = l1.pop_outgoing().expect("miss goes to memory");
 //! l1.on_mem_resp(Cycle(330), MemResp { id: fill.id, data: 0, served_by: ServedBy::Dram }, &mem);
@@ -48,4 +50,4 @@ pub mod l2;
 pub mod msg;
 pub mod phys;
 
-pub use phys::{PAddr, PhysMem, LINE_SIZE, PAGE_SIZE};
+pub use phys::{PAddr, PhysMem, WriteStage, LINE_SIZE, PAGE_SIZE};

@@ -3,9 +3,12 @@
 //! The workspace uses a functional/timing split: caches and DRAM model
 //! *timing* with tag arrays and delay queues, while all *data* lives here in
 //! a single sparse page-granular byte store. Loads read the backing store at
-//! completion time, stores update it at acceptance time, and atomics are
-//! applied at the shared L2 — the single serialization point — so parallel
-//! kernels compute bit-exact results regardless of cache state.
+//! completion time, stores are staged per core in a [`WriteStage`] and
+//! applied in deterministic core order at the end of the cycle, and atomics
+//! are applied at the shared L2 — the single serialization point — so
+//! parallel kernels compute bit-exact results regardless of cache state and
+//! regardless of how the simulation itself is partitioned across host
+//! threads (cores only ever *read* `PhysMem` while they tick).
 
 use std::collections::HashMap;
 
@@ -236,6 +239,56 @@ impl PhysMem {
         };
         self.write_uint(addr, size, new);
         old
+    }
+}
+
+/// A per-core buffer of plain stores accepted this cycle, applied to
+/// [`PhysMem`] in deterministic core order at the end of the cycle.
+///
+/// This is what lets every core (and engine) of a cycle tick against a
+/// shared `&PhysMem`: the only memory *writer* on the core side — the L1
+/// write-through store path — pushes here instead of mutating the backing
+/// store, and the simulation hub drains every stage (cores in ascending
+/// index order) before the shared L2 ticks. A store therefore becomes
+/// visible to *other* agents exactly one cycle after acceptance, and to
+/// its own core on the next cycle it can possibly issue a load (an
+/// in-order core never loads on the cycle it stores) — identical timing
+/// whether the system is stepped densely, with event-horizon skipping, or
+/// partitioned across worker threads.
+#[derive(Debug, Default)]
+pub struct WriteStage {
+    writes: Vec<(PAddr, u8, u64)>,
+}
+
+impl WriteStage {
+    /// Creates an empty stage.
+    #[must_use]
+    pub fn new() -> Self {
+        WriteStage { writes: Vec::new() }
+    }
+
+    /// Stages a little-endian write of the low `size` bytes of `value`.
+    pub fn push(&mut self, addr: PAddr, size: u8, value: u64) {
+        self.writes.push((addr, size, value));
+    }
+
+    /// Applies every staged write in push order and empties the stage.
+    pub fn apply(&mut self, mem: &mut PhysMem) {
+        for (addr, size, value) in self.writes.drain(..) {
+            mem.write_uint(addr, size, value);
+        }
+    }
+
+    /// Number of writes currently staged.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Whether the stage holds no writes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
     }
 }
 

@@ -7,7 +7,7 @@
 use maple_mem::dram::DramConfig;
 use maple_mem::l1::{CoreOp, CoreReq, L1Cache, L1Config};
 use maple_mem::l2::{L2Config, SharedL2};
-use maple_mem::phys::{PAddr, PhysMem};
+use maple_mem::phys::{PAddr, PhysMem, WriteStage};
 use maple_sim::Cycle;
 use maple_testkit::{check, gen, tk_assert, Config, Gen, SimRng};
 use std::collections::HashMap;
@@ -131,9 +131,15 @@ fn l1_l2_stack_is_read_your_writes() {
             // Retry until the L1 accepts (structural stalls resolve as the
             // pipeline drains).
             let mut tries = 0;
+            let mut stage = WriteStage::new();
             loop {
-                match l1.access(now, CoreReq { id, addr: PAddr(addr), op: core_op }, &mut mem) {
-                    Ok(()) => break,
+                match l1.access(now, CoreReq { id, addr: PAddr(addr), op: core_op }, &mem, &mut stage) {
+                    Ok(()) => {
+                        // Single-core test: end-of-cycle apply collapses to
+                        // an immediate apply (nobody else reads this cycle).
+                        stage.apply(&mut mem);
+                        break;
+                    }
                     Err(_) => {
                         pump(&mut l1, &mut l2, &mut mem, &mut now, &mut expecting, 5);
                         tries += 1;

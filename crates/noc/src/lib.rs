@@ -39,6 +39,8 @@
 
 #![deny(missing_docs)]
 
+pub mod boundary;
+
 use std::collections::VecDeque;
 
 use maple_sim::stats::{Counter, Histogram};

@@ -48,6 +48,7 @@
 pub mod compiler;
 pub mod config;
 pub mod os;
+mod partition;
 pub mod runtime;
 pub mod system;
 

@@ -8,28 +8,33 @@
 //! statistics extraction.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use maple_baselines::droplet::{DropletPrefetcher, IndirectWatch};
 use maple_core::Engine;
 use maple_cpu::desc::DescQueues;
-use maple_cpu::{Core, CoreState};
+use maple_cpu::Core;
 use maple_isa::{Program, Reg};
+use maple_fleet::Crew;
 use maple_mem::l2::SharedL2;
 use maple_mem::msg::{MemReq, MemResp};
-use maple_mem::phys::{PAddr, PhysMem, PAGE_SIZE};
+use maple_mem::phys::{PAddr, PhysMem, WriteStage, PAGE_SIZE};
 use maple_noc::{Coord, Mesh, MeshConfig, NocFault};
 use maple_sim::fault::{CoreHang, EngineHang, HangDiagnosis, WatchdogConfig};
 use maple_sim::link::DelayQueue;
 use maple_sim::stats::Counter;
 use maple_sim::{Cycle, RunOutcome};
 use maple_trace::{
-    FaultSite, MetricsSnapshot, StallBreakdown, StallRow, TraceEvent, TraceRecord, Tracer,
+    merge_rings, FaultSite, MetricsSnapshot, StallBreakdown, StallRow, TraceEvent, TraceRecord,
+    Tracer,
 };
 use maple_vm::page_table::FrameAllocator;
 use maple_vm::{VAddr, VirtPage};
 
 use crate::config::{SocConfig, TileLayout, MAPLE_PA_BASE};
 use crate::os::AddressSpace;
+use crate::partition::{phase2, Command, EngineMsg, Inbox, Partition, PartitionOut, SplitPlan};
 
 /// Messages carried by the NoC.
 ///
@@ -51,10 +56,24 @@ struct OutMsg {
     payload: NocPayload,
 }
 
+/// A pending OS page-fault service. The faulting address is carried in
+/// the dispatch record (rather than re-read from the component at
+/// service time) because the component lives inside a partition the hub
+/// cannot reach mid-cycle.
 #[derive(Debug, Clone, Copy)]
 enum FaultTarget {
-    Core(usize),
-    Engine(usize),
+    Core(usize, VAddr),
+    Engine(usize, VAddr),
+}
+
+/// Terminal state of a run loop, mapped to a [`RunOutcome`] only after
+/// the partitions are reassembled (a hang diagnosis needs the components
+/// back in place).
+#[derive(Debug, Clone, Copy)]
+enum Verdict {
+    Finished(Cycle),
+    Retired,
+    Budget,
 }
 
 /// One core-issued MMIO transaction under watchdog observation.
@@ -154,10 +173,20 @@ pub struct System {
     /// Fault-injection plane state; `None` keeps the run fault-free with
     /// zero timing perturbation.
     chaos: Option<ChaosState>,
-    /// Observability tracer handle; disabled unless
-    /// [`SocConfig::with_tracing`] was used. Clones of this handle are
-    /// installed in every core, engine, the mesh and the DRAM channel.
+    /// Hub mirror of each engine's poisoned flag, refreshed from the
+    /// partition reports at the end of every cycle. The chaos scan reads
+    /// the mirror (state as of the *previous* cycle's ticks) — exactly
+    /// the one-cycle lag the sequential stepper had, since poisoning
+    /// happens at tick time, after the scan.
+    poisoned_mirror: Vec<bool>,
+    /// Hub-owned trace ring (mesh, L2/DRAM and chaos events); disabled
+    /// unless [`SocConfig::with_tracing`] was used.
     tracer: Tracer,
+    /// Per-core trace rings (each core emits into its own ring so
+    /// partition workers never contend; merged canonically on read).
+    core_rings: Vec<Tracer>,
+    /// Per-engine trace rings.
+    engine_rings: Vec<Tracer>,
     now: Cycle,
 }
 
@@ -191,11 +220,14 @@ impl System {
         let mut l2 = SharedL2::new(cfg.l2, cfg.dram);
         let mut mesh = mesh;
         let tracer = cfg.trace.map_or_else(Tracer::disabled, Tracer::enabled);
+        let engine_rings: Vec<Tracer> = (0..cfg.maples)
+            .map(|_| cfg.trace.map_or_else(Tracer::disabled, Tracer::enabled))
+            .collect();
         if tracer.is_enabled() {
             mesh.set_tracer(tracer.clone());
             l2.set_tracer(tracer.clone());
             for (e, engine) in engines.iter_mut().enumerate() {
-                engine.set_tracer(e, tracer.clone());
+                engine.set_tracer(e, engine_rings[e].clone());
             }
         }
         let droplet = cfg.droplet.map(DropletPrefetcher::new);
@@ -243,7 +275,10 @@ impl System {
                 .map(|_| vec![maple_sim::stats::Histogram::new(); maple_cfg.queues])
                 .collect(),
             chaos,
+            poisoned_mirror: vec![false; cfg.maples],
             tracer,
+            core_rings: Vec::new(),
+            engine_rings,
             now: Cycle::ZERO,
             cfg,
         }
@@ -359,7 +394,9 @@ impl System {
             self.cfg.cores
         );
         let mut core = Core::new(idx, self.cfg.cpu, program, self.aspace.page_table());
-        core.set_tracer(self.tracer.clone());
+        let ring = self.cfg.trace.map_or_else(Tracer::disabled, Tracer::enabled);
+        core.set_tracer(ring.clone());
+        self.core_rings.push(ring);
         for &(r, v) in args {
             core.set_reg(r, v);
         }
@@ -485,9 +522,10 @@ impl System {
         self.layout.maple_tiles.contains(&c)
     }
 
-    /// Retires a poisoned MAPLE instance: the driver unmaps its page
-    /// (with the matching shootdowns) so no further operations reach it.
-    fn retire_engine(&mut self, e: usize) {
+    /// Retires a poisoned MAPLE instance: the driver unmaps its page and
+    /// broadcasts the matching shootdown to every partition so no further
+    /// operations reach it.
+    fn retire_engine(&mut self, e: usize, mem: &mut PhysMem, inboxes: &mut [Inbox]) {
         let Some(chaos) = &mut self.chaos else {
             return;
         };
@@ -498,19 +536,23 @@ impl System {
         chaos.stats.engines_poisoned.inc();
         let va = chaos.maple_vas[e].take();
         if let Some(va) = va {
-            self.aspace.unmap(&mut self.mem, va);
-            for core in &mut self.cores {
-                core.tlb_shootdown(va.page());
-            }
-            for engine in &mut self.engines {
-                engine.tlb_shootdown(va.page());
+            self.aspace.unmap(mem, va);
+            for inbox in inboxes.iter_mut() {
+                inbox.commands.push(Command::Shootdown { vpn: va.page() });
             }
         }
     }
 
-    /// Injects due scheduled faults and scans the core-MMIO watchdog.
-    /// No-op (no RNG draws, no scans) when the plane is off.
-    fn chaos_stage(&mut self, now: Cycle) {
+    /// Injects due scheduled faults and scans the core-MMIO watchdog,
+    /// turning every injection into partition [`Command`]s. No-op (no RNG
+    /// draws, no scans) when the plane is off.
+    fn chaos_stage(
+        &mut self,
+        now: Cycle,
+        mem: &mut PhysMem,
+        plan: &SplitPlan,
+        inboxes: &mut [Inbox],
+    ) {
         if self.chaos.is_none() {
             return;
         }
@@ -522,12 +564,13 @@ impl System {
             match chaos.resets.front() {
                 Some(&(at, e)) if at <= now.0 => {
                     chaos.resets.pop_front();
-                    if e < self.engines.len() && !chaos.retired[e] {
+                    if e < plan.total_engines() && !chaos.retired[e] {
                         chaos.stats.resets_injected.inc();
                         self.tracer.emit(now, || TraceEvent::FaultRecovered {
                             site: FaultSite::EngineReset,
                         });
-                        self.engines[e].reset();
+                        let (p, local) = plan.engine_owner(e);
+                        inboxes[p].commands.push(Command::EngineReset { engine: local });
                     }
                 }
                 _ => break,
@@ -535,7 +578,7 @@ impl System {
         }
 
         // Randomly-timed TLB shootdowns on heap pages (an OS unmap/remap
-        // racing the engines).
+        // racing the engines) — broadcast to every partition.
         loop {
             let chaos = self.chaos.as_mut().expect("checked above");
             match chaos.shootdowns.front() {
@@ -556,11 +599,8 @@ impl System {
                     self.tracer.emit(now, || TraceEvent::FaultRecovered {
                         site: FaultSite::TlbShootdown,
                     });
-                    for core in &mut self.cores {
-                        core.tlb_shootdown(vpn);
-                    }
-                    for engine in &mut self.engines {
-                        engine.tlb_shootdown(vpn);
+                    for inbox in inboxes.iter_mut() {
+                        inbox.commands.push(Command::Shootdown { vpn });
                     }
                 }
                 _ => break,
@@ -568,9 +608,11 @@ impl System {
         }
 
         // Engines whose own watchdog gave up: the driver retires them.
-        for e in 0..self.engines.len() {
-            if self.engines[e].is_poisoned() {
-                self.retire_engine(e);
+        // The scan reads the hub's poisoned mirror (last cycle's tick
+        // state), which is when the sequential stepper observed it too.
+        for e in 0..plan.total_engines() {
+            if self.poisoned_mirror[e] {
+                self.retire_engine(e, mem, inboxes);
             }
         }
 
@@ -600,8 +642,8 @@ impl System {
                 let req = m.req;
                 chaos.mmio_watch.remove(&key);
                 let e = ((req.addr.0.saturating_sub(MAPLE_PA_BASE)) / PAGE_SIZE) as usize;
-                if e < self.engines.len() {
-                    self.retire_engine(e);
+                if e < plan.total_engines() {
+                    self.retire_engine(e, mem, inboxes);
                 }
             } else {
                 m.retries += 1;
@@ -614,18 +656,30 @@ impl System {
                 // The stall this transaction resolves is now recovery
                 // work; attribute it as such when it ends. The watch entry
                 // was updated in place, so the retry is not re-watched.
-                self.cores[key.0].note_fault_retry();
+                let (p, local) = plan.core_owner(key.0);
+                inboxes[p].commands.push(Command::NoteFaultRetry { core: local });
                 let tile = self.layout.core_tiles[key.0];
                 self.send_req(tile, req, None);
             }
         }
     }
 
-    fn step(&mut self) {
-        let now = self.now;
-
-        // 1. Deliver mesh arrivals to components.
-        for i in 0..self.cores.len() {
+    /// Phase 1 of one simulated cycle (hub-pre): collect mesh deliveries
+    /// into per-partition inboxes (cut-link flits carry cycle stamps),
+    /// complete due page-fault services, and turn chaos injections into
+    /// partition commands. Component-bound effects become [`Command`]s so
+    /// the owning partition applies them — in hub order — at the start of
+    /// its phase 2.
+    fn phase1(
+        &mut self,
+        now: Cycle,
+        mem: &mut PhysMem,
+        plan: &SplitPlan,
+        inboxes: &mut [Inbox],
+    ) {
+        // 1a. Deliver mesh arrivals: core/engine traffic crosses the cut
+        //     into the owning partition's inbox; L2 traffic stays hub-side.
+        for i in 0..plan.total_cores() {
             let tile = self.layout.core_tiles[i];
             for payload in self.mesh.take_delivered(tile) {
                 match payload {
@@ -633,7 +687,8 @@ impl System {
                         if let Some(chaos) = &mut self.chaos {
                             chaos.mmio_watch.remove(&(i, resp.id));
                         }
-                        self.cores[i].on_mem_resp(now, resp, &self.mem);
+                        let (p, local) = plan.core_owner(i);
+                        inboxes[p].core_resps.export(now, (local, resp));
                     }
                     NocPayload::Req(req) => {
                         unreachable!("request delivered to core tile: {req:?}")
@@ -652,114 +707,129 @@ impl System {
                 NocPayload::Resp(_) => unreachable!("response delivered to L2 tile"),
             }
         }
-        for e in 0..self.engines.len() {
+        for e in 0..plan.total_engines() {
             let tile = self.layout.maple_tiles[e];
             for payload in self.mesh.take_delivered(tile) {
-                match payload {
-                    NocPayload::Req(req) => self.engines[e].accept(now, req),
-                    NocPayload::Resp(resp) => {
-                        self.engines[e].on_mem_resp(now, resp, &self.mem);
-                    }
-                }
+                let (p, local) = plan.engine_owner(e);
+                let msg = match payload {
+                    NocPayload::Req(req) => EngineMsg::Req(req),
+                    NocPayload::Resp(resp) => EngineMsg::Resp(resp),
+                };
+                inboxes[p].engine_msgs.export(now, (local, msg));
             }
         }
 
-        // 2. Complete due fault services. A fault outside any lazy region
-        //    cannot be serviced: under chaos it is counted and the
-        //    component stays stalled (the watchdog/hang machinery reports
-        //    it); without chaos it is still the hard invariant it was.
+        // 1b. Complete due fault services. The OS maps the page recorded
+        //     at dispatch time; the owning partition resumes (or keeps
+        //     stalling) the component when it applies the command. A
+        //     fault outside any lazy region cannot be serviced: under
+        //     chaos it is counted and the component stays stalled;
+        //     without chaos it is still the hard invariant it was.
         while let Some(target) = self.fault_service.recv(now) {
-            match target {
-                FaultTarget::Core(i) => {
-                    let Some(fault) = self.cores[i].fault() else {
-                        self.faults_in_service[i] = false;
-                        continue;
-                    };
-                    let ok = self.aspace.handle_fault(
-                        &mut self.mem,
-                        &mut self.frames,
-                        fault.vaddr,
-                    );
-                    if ok {
-                        self.cores[i].resume_from_fault(now, 1);
-                        self.faults_in_service[i] = false;
-                    } else if let Some(chaos) = &mut self.chaos {
-                        // Keep `faults_in_service` set: the core stays
-                        // Faulted and the hang diagnosis reports it.
-                        chaos.stats.unserviceable_faults.inc();
-                    } else {
-                        panic!("core {i} faulted outside any lazy region: {fault:?}");
-                    }
-                }
-                FaultTarget::Engine(e) => {
-                    let Some(fault) = self.engines[e].fault() else {
-                        self.engine_fault_in_service[e] = false;
-                        continue;
-                    };
-                    let ok = self.aspace.handle_fault(
-                        &mut self.mem,
-                        &mut self.frames,
-                        fault.vaddr,
-                    );
-                    if ok {
-                        self.engines[e].resolve_fault();
-                        self.engine_fault_in_service[e] = false;
-                    } else if let Some(chaos) = &mut self.chaos {
-                        chaos.stats.unserviceable_faults.inc();
-                    } else {
-                        panic!("MAPLE {e} faulted outside any lazy region: {fault:?}");
-                    }
-                }
-            }
-        }
-
-        // 2b. Inject scheduled chaos events and scan the MMIO watchdog.
-        self.chaos_stage(now);
-
-        // 3. Tick cores (with DeSC queues when paired), engines, L2,
-        //    DROPLET.
-        for i in 0..self.cores.len() {
-            let dq = match self.desc_pair[i] {
-                Some(k) => Some(&mut self.desc_queues[k]),
-                None => None,
+            let (component, index, vaddr) = match target {
+                FaultTarget::Core(i, vaddr) => ("core", i, vaddr),
+                FaultTarget::Engine(e, vaddr) => ("MAPLE", e, vaddr),
             };
-            self.cores[i].tick(now, &mut self.mem, dq);
-            if self.cores[i].state() == CoreState::Faulted && !self.faults_in_service[i] {
-                self.faults_in_service[i] = true;
-                self.fault_service
-                    .send(now, self.cfg.fault_latency, FaultTarget::Core(i));
+            let ok = self.aspace.handle_fault(mem, &mut self.frames, vaddr);
+            if !ok {
+                if let Some(chaos) = &mut self.chaos {
+                    chaos.stats.unserviceable_faults.inc();
+                } else {
+                    panic!("{component} {index} faulted outside any lazy region at {vaddr}");
+                }
             }
-        }
-        for e in 0..self.engines.len() {
-            self.engines[e].tick(now, &mut self.mem);
-            if self.engines[e].fault().is_some() && !self.engine_fault_in_service[e] {
-                self.engine_fault_in_service[e] = true;
-                self.fault_service
-                    .send(now, self.cfg.fault_latency, FaultTarget::Engine(e));
-            }
-        }
-        self.l2.tick(now, &mut self.mem);
-        if let Some(d) = &mut self.droplet {
-            for req in d.tick(now, &self.mem) {
-                self.l2.accept(now, req);
+            match target {
+                FaultTarget::Core(i, _) => {
+                    let (p, local) = plan.core_owner(i);
+                    inboxes[p]
+                        .commands
+                        .push(Command::CoreFaultServiced { core: local, ok });
+                }
+                FaultTarget::Engine(e, _) => {
+                    let (p, local) = plan.engine_owner(e);
+                    inboxes[p]
+                        .commands
+                        .push(Command::EngineFaultServiced { engine: local, ok });
+                }
             }
         }
 
-        // 4. Collect outbound messages into the uncore path (one shared
-        //    egress helper per message kind; see `send_req`/`send_resp`).
-        for i in 0..self.cores.len() {
-            let tile = self.layout.core_tiles[i];
-            while let Some(req) = self.cores[i].pop_mem_request() {
-                self.send_req(tile, req, Some(i));
+        // 1c. Inject scheduled chaos events and scan the MMIO watchdog.
+        self.chaos_stage(now, mem, plan, inboxes);
+    }
+
+    /// Phase 3 of one simulated cycle (hub-post): apply every partition's
+    /// staged stores and replay its egress in global component order,
+    /// then tick the hub-owned L2/DROPLET/mesh and advance time. Returns
+    /// the number of halted cores reported for this cycle.
+    fn phase3(
+        &mut self,
+        now: Cycle,
+        mem: &mut PhysMem,
+        plan: &SplitPlan,
+        outs: &mut [PartitionOut],
+    ) -> usize {
+        // 3a. Apply staged plain stores in global core order — the same
+        //     write order the tick loop produced when stores were live,
+        //     and before the L2 tick so volatile/AMO servicing sees them.
+        for out in outs.iter_mut() {
+            for stage in &mut out.stages {
+                stage.apply(mem);
             }
         }
-        for e in 0..self.engines.len() {
-            let tile = self.layout.maple_tiles[e];
-            while let Some(req) = self.engines[e].pop_mem_request() {
+
+        // 3b. Replay egress in global component order (cores ascending,
+        //     then engines ascending; per tile, engine requests precede
+        //     engine responses — exactly the sequential pop order).
+        for (p, out) in outs.iter_mut().enumerate() {
+            let base = plan.core_starts[p];
+            for (local, req) in out.core_reqs.drain(..) {
+                let g = base + local;
+                let tile = self.layout.core_tiles[g];
+                self.send_req(tile, req, Some(g));
+            }
+        }
+        for (p, out) in outs.iter_mut().enumerate() {
+            let base = plan.engine_starts[p];
+            for (local, req) in out.engine_reqs.drain(..) {
+                let tile = self.layout.maple_tiles[base + local];
                 self.send_req(tile, req, None);
             }
-            while let Some(out) = self.engines[e].pop_response(now) {
-                self.send_resp(tile, out);
+            for (local, resp) in out.engine_resps.drain(..) {
+                let tile = self.layout.maple_tiles[base + local];
+                self.send_resp(tile, resp);
+            }
+        }
+
+        // 3c. Dispatch newly-raised faults to the OS, cores then engines
+        //     in global order (the service queue is FIFO at equal
+        //     deadlines, so dispatch order is completion order).
+        for (p, out) in outs.iter_mut().enumerate() {
+            let base = plan.core_starts[p];
+            for (local, vaddr) in out.core_fault_dispatch.drain(..) {
+                self.fault_service.send(
+                    now,
+                    self.cfg.fault_latency,
+                    FaultTarget::Core(base + local, vaddr),
+                );
+            }
+        }
+        for (p, out) in outs.iter_mut().enumerate() {
+            let base = plan.engine_starts[p];
+            for (local, vaddr) in out.engine_fault_dispatch.drain(..) {
+                self.fault_service.send(
+                    now,
+                    self.cfg.fault_latency,
+                    FaultTarget::Engine(base + local, vaddr),
+                );
+            }
+        }
+
+        // 3d. Tick the shared L2 and DROPLET, and collect L2 egress.
+        self.l2.tick(now, mem);
+        if let Some(d) = &mut self.droplet {
+            for req in d.tick(now, mem) {
+                self.l2.accept(now, req);
             }
         }
         let l2_tile = self.layout.l2_tile;
@@ -767,8 +837,28 @@ impl System {
             self.send_resp(l2_tile, out);
         }
 
-        // 5. Inject due messages, preserving per-tile order under
-        //    backpressure.
+        // 3e. Inject due messages, preserving per-tile order under
+        //     backpressure.
+        self.inject_outbound(now);
+
+        // 3f. Advance the interconnect, refresh the hub mirrors from the
+        //     partition reports, and advance time.
+        self.mesh.tick(now);
+        let mut halted = 0;
+        for (p, out) in outs.iter().enumerate() {
+            halted += out.halted;
+            let base = plan.engine_starts[p];
+            for (local, &poisoned) in out.poisoned.iter().enumerate() {
+                self.poisoned_mirror[base + local] = poisoned;
+            }
+        }
+        self.now += 1;
+        halted
+    }
+
+    /// Drains the per-tile uncore egress queues into the mesh, preserving
+    /// per-tile order under backpressure.
+    fn inject_outbound(&mut self, now: Cycle) {
         for t in 0..self.out_uncore.len() {
             let src = Coord::new(
                 (t % usize::from(self.cfg.mesh_width)) as u8,
@@ -825,34 +915,14 @@ impl System {
                 }
             }
         }
-
-        // 6. Advance the interconnect.
-        self.mesh.tick(now);
-
-        // 7. Occupancy sampling (Section 4.4: the queue-size study reads
-        // runahead through MAPLE's debug counters).
-        if now.0.is_multiple_of(OCCUPANCY_SAMPLE_PERIOD) {
-            for (e, hists) in self.occupancy.iter_mut().enumerate() {
-                for (q, h) in hists.iter_mut().enumerate() {
-                    h.record(self.engines[e].queue(q as u8).occupancy() as u64);
-                }
-            }
-        }
-        self.now += 1;
     }
 
-    /// Terminal outcome after a step, if any: all cores halted, or an
-    /// engine was retired (poisoned) under the fault plane.
-    fn step_outcome(&self) -> Option<RunOutcome> {
-        if self.cores.iter().all(Core::is_halted) {
-            return Some(RunOutcome::Finished(self.now));
-        }
-        if let Some(chaos) = &self.chaos {
-            if chaos.retired.iter().any(|&r| r) {
-                return Some(RunOutcome::Hung(Box::new(self.hang_diagnosis())));
-            }
-        }
-        None
+    /// Whether any engine was retired (poisoned) under the fault plane —
+    /// the early-exit condition of every run loop.
+    fn retired_any(&self) -> bool {
+        self.chaos
+            .as_ref()
+            .is_some_and(|c| c.retired.iter().any(|&r| r))
     }
 
     /// Earliest cycle at or after `now` at which *any* component could act:
@@ -860,12 +930,13 @@ impl System {
     /// without external input — the system is wedged and only the cycle
     /// budget remains.
     ///
-    /// Every source of spontaneous activity contributes a term; anything
-    /// omitted here would let [`System::run`] skip over an observable
-    /// mutation and diverge from [`System::dense_run`]:
+    /// Partition components (cores, engines) contributed their terms in
+    /// phase 2 — each [`PartitionOut::horizon`] is the local minimum over
+    /// ready-to-issue cores, engine pipeline heads, decode/respond queues
+    /// and fetch watchdogs. The hub folds in everything it owns; anything
+    /// omitted here would let a stepper skip over an observable mutation
+    /// and diverge from the dense reference:
     ///
-    /// - cores (ready-to-issue, L1 response/outbound traffic),
-    /// - engines (pipeline heads, decode/respond queues, fetch watchdog),
     /// - the shared L2 and DRAM (staged requests, completions),
     /// - DROPLET decode deadlines,
     /// - the mesh (pinned to `now` while any packet is in flight),
@@ -873,24 +944,18 @@ impl System {
     /// - pending page-fault service completions,
     /// - the chaos plane (scheduled resets/shootdowns, MMIO watchdog
     ///   deadlines, and a poisoned-but-not-yet-retired engine, which the
-    ///   next `chaos_stage` must observe),
+    ///   next `chaos_stage` must observe — read from the hub mirror),
     /// - the next queue-occupancy sample (a scheduled event, so sampled
     ///   cycles are identical to the dense reference).
-    fn horizon(&self) -> Option<Cycle> {
+    fn hub_horizon(&self, outs: &[PartitionOut]) -> Option<Cycle> {
         let now = self.now;
         let mut h = maple_sim::Horizon::IDLE;
-        for core in &self.cores {
-            h.observe(core.next_event(now));
+        for out in outs {
+            h.observe(out.horizon);
         }
         // A core ready to issue this cycle pins the horizon at `now` —
         // the common case while compute proceeds. Bail before paying for
-        // the engine queue scans below; `run` skips nothing either way.
-        if h.earliest() == Some(now) {
-            return Some(now);
-        }
-        for engine in &self.engines {
-            h.observe(engine.next_event(now));
-        }
+        // the hub scans below; the run loop skips nothing either way.
         if h.earliest() == Some(now) {
             return Some(now);
         }
@@ -909,38 +974,174 @@ impl System {
         if let Some(chaos) = &self.chaos {
             h.observe(chaos.next_event(now));
             if self
-                .engines
+                .poisoned_mirror
                 .iter()
                 .enumerate()
-                .any(|(e, eng)| eng.is_poisoned() && !chaos.retired[e])
+                .any(|(e, &poisoned)| poisoned && !chaos.retired[e])
             {
                 h.at(now);
             }
         }
-        if !self.occupancy.is_empty() {
+        if self.cfg.maples > 0 {
             h.at(Cycle(now.0.next_multiple_of(OCCUPANCY_SAMPLE_PERIOD)));
         }
         h.earliest()
     }
 
-    /// Fast-forwards to `target`, applying the per-cycle accounting the
-    /// dense loop would have performed on each skipped cycle: core stall
-    /// counters, engine produce/consume stall counters, and the mesh's
-    /// round-robin arbitration rotation. Everything else is provably
-    /// idle over the gap (that is what [`System::horizon`] established).
-    fn skip_to(&mut self, target: Cycle) {
-        let n = target.since(self.now);
-        if n == 0 {
-            return;
+    /// Splits the loaded components into `n` contiguous partitions,
+    /// draining the per-component vectors out of `self`. The hub keeps
+    /// everything else. [`System::reassemble`] is the exact inverse;
+    /// every run loop brackets its cycle loop with this pair so that the
+    /// inspection surface (statistics, traces, hang diagnosis) always
+    /// sees the components back in their global order.
+    fn split(&mut self, n: usize, report_horizon: bool) -> (SplitPlan, Vec<Partition>) {
+        let plan = SplitPlan::plan(n, self.cores.len(), self.engines.len(), &self.desc_pair);
+        let mut cores = std::mem::take(&mut self.cores).into_iter();
+        let mut engines = std::mem::take(&mut self.engines).into_iter();
+        let mut faults = std::mem::take(&mut self.faults_in_service).into_iter();
+        let mut engine_faults = std::mem::take(&mut self.engine_fault_in_service).into_iter();
+        let mut occupancy = std::mem::take(&mut self.occupancy).into_iter();
+        let mut queues: Vec<Option<DescQueues>> = std::mem::take(&mut self.desc_queues)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut parts = Vec::with_capacity(n);
+        for p in 0..plan.partitions() {
+            let nc = plan.core_starts[p + 1] - plan.core_starts[p];
+            let ne = plan.engine_starts[p + 1] - plan.engine_starts[p];
+            // Re-index the DeSC queues this partition's cores share. The
+            // planner guarantees both ends of a pair land here, so the
+            // global queue is moved (not cloned) into the partition.
+            let mut desc_queues = Vec::new();
+            let mut desc_global = Vec::new();
+            let mut desc_pair = Vec::with_capacity(nc);
+            for g in plan.core_starts[p]..plan.core_starts[p + 1] {
+                desc_pair.push(self.desc_pair[g].map(|k| {
+                    desc_global.iter().position(|&seen| seen == k).unwrap_or_else(|| {
+                        desc_global.push(k);
+                        desc_queues.push(queues[k].take().expect("planner never cuts a pair"));
+                        desc_queues.len() - 1
+                    })
+                }));
+            }
+            parts.push(Partition {
+                cores: cores.by_ref().take(nc).collect(),
+                engines: engines.by_ref().take(ne).collect(),
+                desc_queues,
+                desc_global,
+                desc_pair,
+                faults_in_service: faults.by_ref().take(nc).collect(),
+                engine_fault_in_service: engine_faults.by_ref().take(ne).collect(),
+                occupancy: occupancy.by_ref().take(ne).collect(),
+                report_horizon,
+                inbox: Inbox::default(),
+                out: PartitionOut {
+                    stages: (0..nc).map(|_| WriteStage::new()).collect(),
+                    ..PartitionOut::default()
+                },
+            });
         }
-        for core in &mut self.cores {
-            core.skip(n);
+        (plan, parts)
+    }
+
+    /// Moves every component back into the hub vectors in global order
+    /// (partition spans are contiguous, so partition order *is* global
+    /// order) and restores the DeSC queues to their global indices.
+    fn reassemble(&mut self, parts: Vec<Partition>) {
+        let n_queues = self.desc_pair.iter().flatten().max().map_or(0, |&m| m + 1);
+        let mut queues: Vec<Option<DescQueues>> = (0..n_queues).map(|_| None).collect();
+        for part in parts {
+            self.cores.extend(part.cores);
+            self.engines.extend(part.engines);
+            self.faults_in_service.extend(part.faults_in_service);
+            self.engine_fault_in_service.extend(part.engine_fault_in_service);
+            self.occupancy.extend(part.occupancy);
+            for (q, k) in part.desc_queues.into_iter().zip(part.desc_global) {
+                queues[k] = Some(q);
+            }
         }
-        for engine in &mut self.engines {
-            engine.skip(n);
+        self.desc_queues = queues
+            .into_iter()
+            .map(|q| q.expect("every queue returns from exactly one partition"))
+            .collect();
+    }
+
+    /// Hub-side double buffers for the phase handoff: one [`Inbox`] and
+    /// one [`PartitionOut`] per partition, swapped with the partition's
+    /// own pair each cycle so neither side ever reallocates.
+    fn fresh_io(parts: &[Partition]) -> (Vec<Inbox>, Vec<PartitionOut>) {
+        let inboxes = parts.iter().map(|_| Inbox::default()).collect();
+        let outs = parts
+            .iter()
+            .map(|p| PartitionOut {
+                stages: (0..p.cores.len()).map(|_| WriteStage::new()).collect(),
+                ..PartitionOut::default()
+            })
+            .collect();
+        (inboxes, outs)
+    }
+
+    /// Maps a run loop's terminal [`Verdict`] to the public outcome,
+    /// after reassembly (the hang diagnosis walks the component vectors).
+    fn finish(&self, verdict: Verdict) -> RunOutcome {
+        match verdict {
+            Verdict::Finished(at) => RunOutcome::Finished(at),
+            Verdict::Retired | Verdict::Budget => {
+                RunOutcome::Hung(Box::new(self.hang_diagnosis()))
+            }
         }
-        self.mesh.skip(n);
-        self.now = target;
+    }
+
+    /// The single-threaded run loop: both the skipping stepper (the
+    /// default) and the dense reference are this function, differing only
+    /// in whether quiescent gaps are skipped. It runs the same three
+    /// phases as [`System::partitioned_run`] over a one-partition split,
+    /// so all steppers are bit-identical by shared code.
+    fn sequential_run(&mut self, max_cycles: u64, skipping: bool) -> RunOutcome {
+        assert!(!self.cores.is_empty(), "load programs before running");
+        let total = self.cores.len();
+        let mut mem = std::mem::take(&mut self.mem);
+        let (plan, mut parts) = self.split(1, skipping);
+        let (mut hub_in, mut hub_out) = Self::fresh_io(&parts);
+        let verdict = loop {
+            if self.now.0 >= max_cycles {
+                break Verdict::Budget;
+            }
+            let now = self.now;
+            self.phase1(now, &mut mem, &plan, &mut hub_in);
+            for (p, part) in parts.iter_mut().enumerate() {
+                std::mem::swap(&mut hub_in[p], &mut part.inbox);
+                phase2(part, now, &mem);
+                std::mem::swap(&mut hub_out[p], &mut part.out);
+            }
+            let halted = self.phase3(now, &mut mem, &plan, &mut hub_out);
+            if halted == total {
+                break Verdict::Finished(self.now);
+            }
+            if self.retired_any() {
+                break Verdict::Retired;
+            }
+            // A non-quiescent mesh pins the horizon at `now` (packets move
+            // every cycle), so the full component scan below could only
+            // confirm there is nothing to skip — don't pay for it.
+            if skipping && self.mesh.is_quiescent() {
+                let target = self
+                    .hub_horizon(&hub_out)
+                    .map_or(max_cycles, |h| h.0)
+                    .min(max_cycles);
+                if target > self.now.0 {
+                    let delta = target - self.now.0;
+                    for part in &mut parts {
+                        part.skip(delta);
+                    }
+                    self.mesh.skip(delta);
+                    self.now = Cycle(target);
+                }
+            }
+        };
+        self.mem = mem;
+        self.reassemble(parts);
+        self.finish(verdict)
     }
 
     /// Runs until every loaded core halts or `max_cycles` elapse, skipping
@@ -949,7 +1150,7 @@ impl System {
     /// advances time straight to it. Produces bit-identical cycle counts,
     /// statistics, traces and occupancy samples to [`System::dense_run`] —
     /// the skipped cycles are exactly those on which the dense loop would
-    /// only have performed the bulk-applied accounting of `skip_to`.
+    /// only have performed the bulk-applied accounting of `Partition::skip`.
     ///
     /// On expiry the outcome is [`RunOutcome::Hung`] carrying a
     /// structured [`HangDiagnosis`] (per-core stall reason, per-engine
@@ -958,6 +1159,10 @@ impl System {
     /// early with the same diagnosis instead of burning the full budget.
     ///
     /// When the configuration selects
+    /// [`SocConfig::with_partitions`](crate::config::SocConfig::with_partitions)
+    /// with more than one partition, dispatches to
+    /// [`System::partitioned_run`] with the worker count from
+    /// `MAPLE_JOBS` (host parallelism by default); when it selects
     /// [`SocConfig::with_dense_stepper`](crate::config::SocConfig::with_dense_stepper),
     /// dispatches to [`System::dense_run`] instead.
     ///
@@ -965,27 +1170,17 @@ impl System {
     ///
     /// Panics if no program was loaded.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        if self.cfg.partitions > 1 {
+            let workers = self
+                .cfg
+                .partition_workers
+                .unwrap_or_else(maple_fleet::jobs_from_env);
+            return self.partitioned_run(max_cycles, workers);
+        }
         if self.cfg.dense_stepper {
             return self.dense_run(max_cycles);
         }
-        assert!(!self.cores.is_empty(), "load programs before running");
-        while self.now.0 < max_cycles {
-            self.step();
-            if let Some(outcome) = self.step_outcome() {
-                return outcome;
-            }
-            // A non-quiescent mesh pins the horizon at `now` (packets move
-            // every cycle), so the full component scan below could only
-            // confirm there is nothing to skip — don't pay for it.
-            if !self.mesh.is_quiescent() {
-                continue;
-            }
-            let target = self.horizon().map_or(max_cycles, |h| h.0).min(max_cycles);
-            if target > self.now.0 {
-                self.skip_to(Cycle(target));
-            }
-        }
-        RunOutcome::Hung(Box::new(self.hang_diagnosis()))
+        self.sequential_run(max_cycles, true)
     }
 
     /// The dense reference stepper: advances one cycle at a time with no
@@ -997,14 +1192,94 @@ impl System {
     ///
     /// Panics if no program was loaded.
     pub fn dense_run(&mut self, max_cycles: u64) -> RunOutcome {
+        self.sequential_run(max_cycles, false)
+    }
+
+    /// The partitioned parallel stepper: splits the mesh into
+    /// [`SocConfig::partitions`](crate::config::SocConfig::partitions)
+    /// spatial partitions, each stepped by a [`Crew`] worker against a
+    /// read-only view of physical memory, with a conservative barrier at
+    /// partition boundaries every cycle. Flits crossing a cut carry cycle
+    /// stamps and are exchanged at the barrier; the NoC's own link
+    /// latency is the lookahead that makes the one-cycle barrier safe.
+    ///
+    /// Bit-exact with [`System::run`] and [`System::dense_run`] at any
+    /// partition count and any worker count — identical cycle counts,
+    /// metrics, trace streams and hang diagnoses — because all three
+    /// steppers execute the same three phase functions; only the degree
+    /// of overlap differs. `workers` caps the threads actually used
+    /// (helpers beyond `partitions - 1` would have nothing to claim);
+    /// `workers = 1` degenerates to the hub stepping every partition
+    /// itself, the sequential reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no program was loaded or `workers` is zero.
+    pub fn partitioned_run(&mut self, max_cycles: u64, workers: usize) -> RunOutcome {
         assert!(!self.cores.is_empty(), "load programs before running");
-        while self.now.0 < max_cycles {
-            self.step();
-            if let Some(outcome) = self.step_outcome() {
-                return outcome;
+        assert!(workers > 0, "at least one worker is required");
+        let total = self.cores.len();
+        let n = self.cfg.partitions.max(1);
+        let (plan, parts) = self.split(n, true);
+        let (mut hub_in, mut hub_out) = Self::fresh_io(&parts);
+        let mem_lock = RwLock::new(std::mem::take(&mut self.mem));
+        let now_cell = AtomicU64::new(self.now.0);
+        let helpers = workers.saturating_sub(1).min(n.saturating_sub(1));
+        let crew = Crew::new(parts);
+        let work = |_: usize, part: &mut Partition| {
+            let mem = mem_lock.read().expect("memory lock poisoned");
+            phase2(part, Cycle(now_cell.load(Ordering::Acquire)), &mem);
+        };
+        let verdict = crew.run(helpers, &work, |conductor| {
+            loop {
+                if self.now.0 >= max_cycles {
+                    break Verdict::Budget;
+                }
+                let now = self.now;
+                now_cell.store(now.0, Ordering::Release);
+                {
+                    let mut mem = mem_lock.write().expect("memory lock poisoned");
+                    self.phase1(now, &mut mem, &plan, &mut hub_in);
+                }
+                // Publish the inboxes, then open the barrier round. The
+                // helpers only observe partition state through the slot
+                // mutexes, so the swap is ordered before their claims.
+                for (p, inbox) in hub_in.iter_mut().enumerate() {
+                    std::mem::swap(inbox, &mut conductor.slot(p).inbox);
+                }
+                conductor.round();
+                for (p, out) in hub_out.iter_mut().enumerate() {
+                    std::mem::swap(out, &mut conductor.slot(p).out);
+                }
+                let halted = {
+                    let mut mem = mem_lock.write().expect("memory lock poisoned");
+                    self.phase3(now, &mut mem, &plan, &mut hub_out)
+                };
+                if halted == total {
+                    break Verdict::Finished(self.now);
+                }
+                if self.retired_any() {
+                    break Verdict::Retired;
+                }
+                if self.mesh.is_quiescent() {
+                    let target = self
+                        .hub_horizon(&hub_out)
+                        .map_or(max_cycles, |h| h.0)
+                        .min(max_cycles);
+                    if target > self.now.0 {
+                        let delta = target - self.now.0;
+                        for p in 0..conductor.len() {
+                            conductor.slot(p).skip(delta);
+                        }
+                        self.mesh.skip(delta);
+                        self.now = Cycle(target);
+                    }
+                }
             }
-        }
-        RunOutcome::Hung(Box::new(self.hang_diagnosis()))
+        });
+        self.mem = mem_lock.into_inner().expect("memory lock poisoned");
+        self.reassemble(crew.into_slots());
+        self.finish(verdict)
     }
 
     /// Snapshot of why the system is not making progress.
@@ -1128,19 +1403,44 @@ impl System {
 
     // --- observability ----------------------------------------------------
 
-    /// The observability tracer handle (disabled unless
-    /// [`SocConfig::with_tracing`] was used).
+    /// The hub-side observability tracer handle (disabled unless
+    /// [`SocConfig::with_tracing`] was used). Mesh, L2/DRAM and chaos
+    /// events emit here; core and engine events live in per-component
+    /// rings so partition workers never contend — read the canonical
+    /// combined stream through [`System::trace_records`].
     #[must_use]
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
     }
 
-    /// Snapshot of the captured trace, oldest first. Empty when tracing
-    /// is disabled; when the ring overflowed only the most recent events
-    /// survive (see [`Tracer::dropped`]).
+    /// Canonical merge of every trace ring: cores ascending, engines
+    /// ascending, hub last — a fixed order, so the merged stream is
+    /// byte-identical across steppers and worker counts. Returns the
+    /// records plus the total overflow count.
+    fn merged_trace(&self) -> (Vec<TraceRecord>, u64) {
+        let mut rings: Vec<&Tracer> = Vec::with_capacity(self.core_rings.len() + self.engine_rings.len() + 1);
+        rings.extend(&self.core_rings);
+        rings.extend(&self.engine_rings);
+        rings.push(&self.tracer);
+        let capacity = self.cfg.trace.map_or(0, |t| t.capacity);
+        merge_rings(&rings, capacity)
+    }
+
+    /// Snapshot of the captured trace, oldest first, merged canonically
+    /// across the per-core, per-engine and hub rings. Empty when tracing
+    /// is disabled; when the merge overflowed the configured capacity
+    /// only the most recent events survive (see [`System::trace_dropped`]).
     #[must_use]
     pub fn trace_records(&self) -> Vec<TraceRecord> {
-        self.tracer.records()
+        self.merged_trace().0
+    }
+
+    /// Events lost to ring overflow across every trace ring, including
+    /// those the canonical merge had to shed to fit the configured
+    /// capacity.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.merged_trace().1
     }
 
     /// Exports the captured trace in Chrome `trace_event` JSON to `path`
@@ -1150,7 +1450,7 @@ impl System {
     ///
     /// Propagates the underlying I/O error.
     pub fn write_trace(&self, path: &std::path::Path) -> std::io::Result<()> {
-        maple_trace::chrome::write_chrome_trace(path, &self.tracer.records())
+        maple_trace::chrome::write_chrome_trace(path, &self.trace_records())
     }
 
     /// Cycles core `i` has been live: issue to halt, or to now if still
@@ -1258,8 +1558,9 @@ impl System {
             );
         }
         if self.tracer.is_enabled() {
-            m.counter("trace/captured", self.tracer.records().len() as u64);
-            m.counter("trace/dropped", self.tracer.dropped());
+            let (records, dropped) = self.merged_trace();
+            m.counter("trace/captured", records.len() as u64);
+            m.counter("trace/dropped", dropped);
         }
         m
     }

@@ -138,6 +138,111 @@ fn run_pair(cfg: SocConfig, n: usize, seed: u64) -> (RunOutcome, System) {
 }
 
 #[test]
+fn zero_engine_partitions_are_bit_exact() {
+    // fpga_prototype has 2 cores + 1 MAPLE; 4 partitions leave at least
+    // two partitions with no engine (and two with no core). Empty spans
+    // must tick as no-ops and the cut between the producer core and the
+    // engine must carry every flit at its stamped cycle.
+    let (part_out, part_sys) = run_pair(
+        SocConfig::fpga_prototype()
+            .with_partitions(4)
+            .with_partition_workers(4),
+        256,
+        11,
+    );
+    let (dense_out, dense_sys) =
+        run_pair(SocConfig::fpga_prototype().with_dense_stepper(), 256, 11);
+    assert!(part_out.is_finished(), "{part_out:?}");
+    assert_eq!(part_out, dense_out, "completion cycle diverged");
+    assert_eq!(
+        part_sys.metrics_snapshot().to_json().render(),
+        dense_sys.metrics_snapshot().to_json().render(),
+        "metrics diverged with zero-engine partitions"
+    );
+}
+
+#[test]
+fn cross_partition_flit_on_barrier_cycle_is_bit_exact() {
+    // With 2 partitions over 2 cores + 1 engine the planner puts core 0
+    // and the engine on opposite sides of the cut, so every MMIO
+    // produce/consume and every fill crosses a partition boundary. Each
+    // crossing flit is exported with the cycle stamp of its mesh
+    // delivery and imported in the very same cycle's phase 2 — the
+    // barrier cycle itself — so any off-by-one in the exchange protocol
+    // shifts the completion cycle.
+    let (part_out, part_sys) = run_pair(
+        SocConfig::fpga_prototype()
+            .with_partitions(2)
+            .with_partition_workers(2),
+        256,
+        23,
+    );
+    let (skip_out, skip_sys) = run_pair(SocConfig::fpga_prototype(), 256, 23);
+    assert!(part_out.is_finished(), "{part_out:?}");
+    assert_eq!(part_out, skip_out, "completion cycle diverged");
+    assert_eq!(
+        part_sys.metrics_snapshot().to_json().render(),
+        skip_sys.metrics_snapshot().to_json().render(),
+        "metrics diverged on the cross-partition path"
+    );
+}
+
+#[test]
+fn chaos_reset_straddling_a_partition_boundary_is_bit_exact() {
+    // The scheduled RESET targets engine 0, which lives in a different
+    // partition than the core issuing MMIO against it: the injection is
+    // decided hub-side and must cross the cut as a command, then every
+    // downstream effect (watchdog retries, poison, diagnosis) must
+    // replay exactly as in the dense run.
+    const BUDGET: u64 = 2_000_000;
+    let plane = || FaultPlaneConfig::new(7).with_engine_reset_at(5_000, 0);
+    let run = |cfg: SocConfig| {
+        let mut sys = System::new(cfg.with_fault_plane(plane()));
+        load_starved_consumer(&mut sys);
+        let out = sys.run(BUDGET);
+        (out, sys)
+    };
+    let (part_out, part_sys) = run(SocConfig::fpga_prototype()
+        .with_partitions(2)
+        .with_partition_workers(2));
+    let (dense_out, dense_sys) = run(SocConfig::fpga_prototype().with_dense_stepper());
+
+    let chaos = part_sys.chaos_stats().expect("plane installed");
+    assert_eq!(chaos.resets_injected.get(), 1, "reset must cross the cut");
+    assert_eq!(part_out, dense_out, "post-reset behaviour diverged");
+    assert_eq!(
+        part_sys.metrics_snapshot().to_json().render(),
+        dense_sys.metrics_snapshot().to_json().render(),
+        "metrics diverged after a boundary-straddling reset"
+    );
+}
+
+#[test]
+fn one_partition_run_degenerates_to_the_skipping_stepper() {
+    // `partitioned_run` with a single partition (and however many
+    // workers) is the skipping stepper with extra idle helpers: same
+    // outcome, same metrics, byte for byte.
+    let spec_run = |partitioned: bool| {
+        let mut sys = System::new(SocConfig::fpga_prototype());
+        load_starved_consumer(&mut sys);
+        let out = if partitioned {
+            sys.partitioned_run(200_000, 4)
+        } else {
+            sys.run(200_000)
+        };
+        (out, sys)
+    };
+    let (part_out, part_sys) = spec_run(true);
+    let (skip_out, skip_sys) = spec_run(false);
+    assert_eq!(part_out, skip_out, "degenerate partitioned run diverged");
+    assert_eq!(
+        part_sys.metrics_snapshot().to_json().render(),
+        skip_sys.metrics_snapshot().to_json().render(),
+        "metrics diverged on the one-partition degeneration"
+    );
+}
+
+#[test]
 fn occupancy_samples_identical_under_skipping() {
     // Occupancy sampling is a scheduled event in the skipping loop (the
     // next multiple of OCCUPANCY_SAMPLE_PERIOD is a horizon term), so the

@@ -105,6 +105,134 @@ fn chaos_grid_bit_exact() {
 }
 
 #[test]
+fn partitioned_grid_bit_exact() {
+    // The partitions×workers cell grid: every combination of 1/2/4
+    // spatial partitions and 1/2/4 workers must reproduce the dense
+    // reference byte-for-byte — run stats, the metrics snapshot JSON
+    // (which embeds the occupancy histograms sampled on scheduled
+    // cycles), everything. 4 cores + 2 engines so a 4-way split
+    // exercises real cuts, including zero-engine partitions.
+    let a = uniform_sparse(32, 4 * 1024, 5, SEED ^ 0x17);
+    let x = dense_vector(4 * 1024, SEED ^ 0x171);
+    let inst = Spmv { a, x };
+    let tune = |c: maple_soc::SocConfig| c.with_maples(2);
+    let (dense_stats, dense_sys) =
+        inst.run_observed(Variant::MapleDecoupled, 4, |c| tune(c).with_dense_stepper());
+    let dense_json = dense_sys.metrics_snapshot().to_json().render();
+    for parts in [1usize, 2, 4] {
+        for workers in [1usize, 2, 4] {
+            let (stats, sys) = inst.run_observed(Variant::MapleDecoupled, 4, move |c| {
+                tune(c).with_partitions(parts).with_partition_workers(workers)
+            });
+            assert_eq!(
+                stats, dense_stats,
+                "partitions={parts} workers={workers}: diverged from dense\n\
+                 replay: SEED={SEED:#x}"
+            );
+            assert_eq!(
+                sys.metrics_snapshot().to_json().render(),
+                dense_json,
+                "partitions={parts} workers={workers}: metrics JSON diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_variant_grid_bit_exact() {
+    // Every oracle variant (plus LIMA command mode and software
+    // prefetch) through the partitioned stepper at an odd partition
+    // count, so uneven cuts and the DeSC pair constraint both fire.
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED ^ 0x23);
+    let x = dense_vector(4 * 1024, SEED ^ 0x231);
+    let inst = Spmv { a, x };
+    let grid: Vec<(Variant, usize)> = ORACLE_VARIANTS
+        .iter()
+        .copied()
+        .chain([(Variant::MapleLima, 1), (Variant::SwPrefetch { dist: 4 }, 1)])
+        .collect();
+    for (v, t) in grid {
+        let part = inst.run_tuned(v, t, |c| c.with_partitions(3).with_partition_workers(2));
+        let dense = inst.run_tuned(v, t, |c| c.with_dense_stepper());
+        assert_eq!(
+            part, dense,
+            "spmv {v:?} x{t}: partitioned stepper diverged from dense\n\
+             replay: SEED={SEED:#x}"
+        );
+        assert!(part.verified, "spmv {v:?} x{t}: wrong result");
+    }
+}
+
+#[test]
+fn partitioned_chaos_grid_bit_exact() {
+    // Chaos injections land hub-side and cross the cut as commands; a
+    // reset aimed at an engine in another partition, watchdog retries
+    // and retirements must all replay identically — including the final
+    // hang diagnosis when the schedule is unrecoverable.
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED ^ 0x2C);
+    let x = dense_vector(4 * 1024, SEED ^ 0x2C1);
+    let inst = Spmv { a, x };
+    for schedule in chaos_schedules(SEED ^ 0xFACE) {
+        let plane = schedule.plane.clone();
+        let part = inst.run_tuned(Variant::MapleDecoupled, 2, {
+            let p = plane.clone();
+            move |c| {
+                c.with_fault_plane(p)
+                    .with_partitions(4)
+                    .with_partition_workers(4)
+            }
+        });
+        let dense = inst.run_tuned(Variant::MapleDecoupled, 2, move |c| {
+            c.with_fault_plane(plane).with_dense_stepper()
+        });
+        assert_eq!(
+            part, dense,
+            "chaos schedule `{}`: partitioned diverged from dense\nreplay: SEED={SEED:#x}",
+            schedule.name
+        );
+        assert_eq!(part.hung, dense.hung);
+    }
+}
+
+#[test]
+fn partitioned_traced_streams_identical() {
+    // The sharpest probe: per-cycle trace records from per-component
+    // rings, merged canonically, must be byte-identical to the dense
+    // run's — regardless of which worker emitted them.
+    let a = uniform_sparse(16, 2048, 4, SEED ^ 0x37);
+    let x = dense_vector(2048, SEED ^ 0x371);
+    let inst = Spmv { a, x };
+    let (part_stats, part_sys) = inst.run_observed(Variant::MapleDecoupled, 4, |c| {
+        c.with_maples(2)
+            .with_tracing(TraceConfig::default())
+            .with_partitions(4)
+            .with_partition_workers(4)
+    });
+    let (dense_stats, dense_sys) = inst.run_observed(Variant::MapleDecoupled, 4, |c| {
+        c.with_maples(2)
+            .with_tracing(TraceConfig::default())
+            .with_dense_stepper()
+    });
+    assert_eq!(part_stats, dense_stats, "stats diverged on traced run");
+    let part_records = part_sys.trace_records();
+    let dense_records = dense_sys.trace_records();
+    assert_eq!(
+        part_records.len(),
+        dense_records.len(),
+        "trace record count diverged"
+    );
+    for (i, (p, d)) in part_records.iter().zip(&dense_records).enumerate() {
+        assert_eq!(p, d, "trace record {i} diverged");
+    }
+    assert_eq!(part_sys.trace_dropped(), dense_sys.trace_dropped());
+    assert_eq!(
+        part_sys.metrics_snapshot().to_json().render(),
+        dense_sys.metrics_snapshot().to_json().render(),
+        "metrics snapshot diverged on traced run"
+    );
+}
+
+#[test]
 fn traced_run_streams_identical() {
     // Tracing observes individual cycles, so it is the sharpest probe of
     // skipping correctness: every captured (cycle, event) record must be

@@ -58,6 +58,22 @@ cargo run --offline --release -q -p maple-bench --bin stepper_check \
     | tee target/stepper_check.txt | tail -n 1
 grep -q "stepper ok: bit-exact" target/stepper_check.txt
 
+echo "==> stepper: partitioned run must be bit-exact at any worker count"
+# The partitioned parallel stepper shards one System into 4 spatial
+# partitions; the gate compares it against the single-threaded stepper
+# and prints only host-independent lines (simulated facts + a metrics
+# digest), so the output must be byte-identical at 1 and 4 workers.
+MAPLE_JOBS=1 cargo run --offline --release -q -p maple-bench --bin stepper_check \
+    -- --partitions 4 > target/partitioned_gate_jobs1.txt
+MAPLE_JOBS=4 cargo run --offline --release -q -p maple-bench --bin stepper_check \
+    -- --partitions 4 > target/partitioned_gate_jobs4.txt
+if ! diff target/partitioned_gate_jobs1.txt target/partitioned_gate_jobs4.txt; then
+    echo "ERROR: partitioned gate output differs between MAPLE_JOBS=1 and =4" >&2
+    exit 1
+fi
+grep -q "partitioned ok: bit-exact" target/partitioned_gate_jobs1.txt
+echo "    $(tail -n 1 target/partitioned_gate_jobs1.txt), identical at 1 and 4 workers"
+
 echo "==> lint: clippy, warnings are errors"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
