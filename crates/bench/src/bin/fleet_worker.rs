@@ -1,0 +1,89 @@
+//! Standalone TCP fleet worker for distributed oracle-grid runs.
+//!
+//! Listens on a local address, announces the bound port on stdout (so
+//! scripts binding port 0 can discover it), then serves coordinator
+//! connections one at a time: each `Job` frame carries a `gridv1` spec,
+//! which is decoded and simulated by `maple_bench::distributed::run_spec`,
+//! with heartbeats streamed back while the simulation runs.
+//!
+//! `--crash-after N` makes the process exit(1) while computing its
+//! N+1-th job — the ci.sh TCP smoke test uses this to kill a worker
+//! mid-batch and prove the coordinator reassigns the orphaned lease.
+//!
+//! ```text
+//! fleet_worker --listen 127.0.0.1:0 [--crash-after N]
+//! ```
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use maple_bench::distributed::run_spec;
+use maple_fleet::net::TcpTransport;
+use maple_fleet::remote::serve_connection;
+
+fn usage() -> ! {
+    eprintln!("usage: fleet_worker --listen HOST:PORT [--crash-after N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut listen = String::from("127.0.0.1:0");
+    let mut crash_after: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--crash-after" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                crash_after = Some(n.parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+
+    let listener = TcpListener::bind(&listen).unwrap_or_else(|e| {
+        eprintln!("fleet_worker: bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    let addr = listener.local_addr().expect("bound socket has an address");
+    // Machine-readable announcement: scripts parse this line.
+    println!("listening on {addr}");
+
+    let started = AtomicU64::new(0);
+    let runner = move |spec: &str| {
+        let n = started.fetch_add(1, Ordering::SeqCst);
+        if let Some(limit) = crash_after {
+            if n >= limit {
+                eprintln!("fleet_worker: --crash-after {limit} reached, dying mid-job");
+                std::process::exit(1);
+            }
+        }
+        run_spec(spec)
+    };
+
+    for conn in listener.incoming() {
+        let stream = match conn {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fleet_worker: accept: {e}");
+                continue;
+            }
+        };
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        let mut transport = match TcpTransport::from_stream(stream) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fleet_worker: {peer}: setup failed: {e}");
+                continue;
+            }
+        };
+        match serve_connection(&mut transport, Duration::from_millis(200), &runner) {
+            Ok(served) => eprintln!("fleet_worker: {peer}: served {served} jobs, connection closed"),
+            Err(e) => eprintln!("fleet_worker: {peer}: {e}"),
+        }
+    }
+}

@@ -10,12 +10,61 @@
 //! count from `MAPLE_JOBS`/host parallelism), printing only
 //! host-independent lines so `ci.sh` can byte-diff the output across
 //! worker counts.
+//!
+//! With `--speedup-floor X` it runs the partitioned *throughput*
+//! expectation: the 4-partition sweep must reach `X`× the
+//! single-threaded skipping baseline. This gate is honest about the
+//! host: on a 1-core container the parallel stepper cannot win, so the
+//! expectation is **skipped** (exit 0, with an explicit skip line) —
+//! only the bit-exactness gates above apply there.
 
 use maple_bench::report::FigureReport;
-use maple_bench::stepper::{partitioned_gate, stall_heavy_comparison};
+use maple_bench::stepper::{partitioned_gate, partitioned_sweep, stall_heavy_comparison};
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The `--speedup-floor` gate; returns the process exit code.
+fn speedup_floor_gate(floor: f64) -> i32 {
+    let cores = host_cores();
+    if cores <= 1 {
+        println!(
+            "stepper speedup gate SKIPPED: host_cores=1 pins the partitioned \
+             stepper at ~1.0x (bit-exactness gates still enforced)"
+        );
+        return 0;
+    }
+    let sweep = partitioned_sweep(0x57E9, &[4], None);
+    if let Some(msg) = sweep.divergence() {
+        eprintln!("[stepper_check] PARTITIONED STEPPER DIVERGENCE\n{msg}");
+        return 1;
+    }
+    let speedup = sweep.speedup_at(4).expect("4-partition run present");
+    println!(
+        "stepper speedup gate: host_cores={cores}, 4 partitions at {speedup:.2}x \
+         over skipping baseline (floor {floor:.2}x)"
+    );
+    if speedup < floor {
+        eprintln!(
+            "[stepper_check] partitioned speedup {speedup:.2}x below the \
+             {floor:.2}x floor on a {cores}-core host"
+        );
+        return 1;
+    }
+    0
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--speedup-floor") {
+        let floor: f64 = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&f| f > 0.0)
+            .expect("--speedup-floor takes a positive number");
+        std::process::exit(speedup_floor_gate(floor));
+    }
     if let Some(i) = args.iter().position(|a| a == "--partitions") {
         let n: usize = args
             .get(i + 1)

@@ -1,0 +1,405 @@
+//! Distributed dispatch of the oracle grid: specs, payload codec, and
+//! the shared runner.
+//!
+//! The coordinator (`oracle_grid --coordinator …`) and the remote worker
+//! (`--bin fleet_worker`) never ship simulator state over the wire —
+//! a job is a short **spec string** naming a grid cell, and both sides
+//! rebuild the identical instance from the fixed seed baked into this
+//! module. The reply is a lossless text encoding of the cell's
+//! `RunStats`; floats travel as IEEE-754 bit patterns so a decoded
+//! result is byte-for-byte the same as a locally computed one. That is
+//! the determinism argument behind the ci.sh distributed gate: local
+//! pool, loopback coordinator and chaos-wrapped coordinator all print
+//! identical grid rows because every path ends in
+//! [`run_spec`] → [`encode_stats`]/[`decode_stats`] over the same pure
+//! function.
+
+use maple_fleet::Digest;
+use maple_sim::rng::SimRng;
+use maple_workloads::bfs::Bfs;
+use maple_workloads::data::{dense_vector, Csr};
+use maple_workloads::harness::{config_for, CoreDetail, FaultReport, RunStats, Variant};
+use maple_workloads::oracle::ORACLE_VARIANTS;
+use maple_workloads::sdhp::Sdhp;
+use maple_workloads::spmv::Spmv;
+
+/// Fixed seed of the oracle grid; the whole grid replays bit-for-bit
+/// from this (shared by every dispatch mode and the worker binary).
+pub const GRID_SEED: u64 = 0x0A_C1E5;
+
+/// Spec-string format version; the leading token of every job spec.
+pub const SPEC_VERSION: &str = "gridv1";
+
+/// Schema tag for [`job_key`] digests (distinct from the bench cache
+/// schema so grid entries can never collide with suite entries).
+const GRID_KEY_SCHEMA: u64 = 0x6D1D;
+
+/// Small fixed CSR, expanded deterministically from `seed`.
+#[must_use]
+pub fn fixed_csr(rows: usize, ncols: usize, seed: u64) -> Csr {
+    let mut rng = SimRng::seed(seed);
+    let rows_vec: Vec<Vec<(u32, u32)>> = (0..rows)
+        .map(|_| {
+            let nnz = rng.below(7) as usize;
+            let mut cols: Vec<u32> = (0..nnz).map(|_| rng.below(ncols as u64) as u32).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            cols.into_iter()
+                .map(|c| (c, 1 + rng.below(100) as u32))
+                .collect()
+        })
+        .collect();
+    Csr::from_rows(rows, ncols, &rows_vec)
+}
+
+/// The grid's kernel axis, in print order.
+pub const GRID_KERNELS: [&str; 3] = ["spmv", "sdhp", "bfs"];
+
+/// Every cell of the differential grid in stdout order: one spec per
+/// (kernel, oracle variant) pair.
+#[must_use]
+pub fn grid_cells() -> Vec<(String, Variant, usize)> {
+    let mut cells = Vec::new();
+    for kernel in GRID_KERNELS {
+        for (v, t) in ORACLE_VARIANTS {
+            cells.push((kernel.to_owned(), v, t));
+        }
+    }
+    cells
+}
+
+/// Renders one cell as a wire spec.
+#[must_use]
+pub fn spec_of(kernel: &str, variant: Variant, threads: usize) -> String {
+    let dist = match variant {
+        Variant::SwPrefetch { dist } => dist,
+        _ => 0,
+    };
+    format!(
+        "{SPEC_VERSION}\t{kernel}\t{}\t{dist}\t{threads}",
+        variant.label()
+    )
+}
+
+/// Content key of one cell: spec string plus the digest of the exact
+/// `SocConfig` it runs under, so a timing-table edit invalidates grid
+/// cache entries just like suite entries.
+#[must_use]
+pub fn job_key(kernel: &str, variant: Variant, threads: usize) -> u64 {
+    let mut d = Digest::new(GRID_KEY_SCHEMA);
+    d.str(&spec_of(kernel, variant, threads));
+    config_for(variant, threads).digest_into(&mut d);
+    d.finish()
+}
+
+fn variant_from(label: &str, dist: u32) -> Result<Variant, String> {
+    Ok(match label {
+        "doall" => Variant::Doall,
+        "sw-dec" => Variant::SwDecoupled,
+        "maple-dec" => Variant::MapleDecoupled,
+        "desc" => Variant::Desc,
+        "sw-pref" => Variant::SwPrefetch { dist },
+        "maple-lima" => Variant::MapleLima,
+        "droplet" => Variant::Droplet,
+        other => return Err(format!("unknown variant label {other:?}")),
+    })
+}
+
+/// Runs one grid cell from scratch: rebuilds the fixed instance for the
+/// kernel and executes the variant. This is the one function every
+/// dispatch path funnels through — local pool, loopback worker, TCP
+/// worker, and the coordinator's local-fallback rung.
+///
+/// # Errors
+///
+/// A message for an unparseable spec (version skew, unknown kernel or
+/// variant) — surfaced to the coordinator as a typed `Failed` reply,
+/// never a worker crash.
+pub fn run_grid_cell(kernel: &str, variant: Variant, threads: usize) -> Result<RunStats, String> {
+    match kernel {
+        "spmv" => {
+            let inst = Spmv {
+                a: fixed_csr(10, 128, GRID_SEED ^ 0x01),
+                x: dense_vector(128, GRID_SEED ^ 0x02),
+            };
+            Ok(inst.run(variant, threads))
+        }
+        "sdhp" => {
+            let a = fixed_csr(8, 128, GRID_SEED ^ 0x03);
+            let inst = Sdhp::from_sparse(&a, GRID_SEED ^ 0x04);
+            Ok(inst.run(variant, threads))
+        }
+        "bfs" => {
+            let graph = fixed_csr(16, 16, GRID_SEED ^ 0x05);
+            let root = (0..graph.nrows)
+                .find(|&r| !graph.row_range(r).is_empty())
+                .unwrap_or(0) as u32;
+            let inst = Bfs { graph, root };
+            Ok(inst.run(variant, threads))
+        }
+        other => Err(format!("unknown grid kernel {other:?}")),
+    }
+}
+
+/// The worker-side runner: parses a wire spec, runs the cell, encodes
+/// the stats.
+///
+/// # Errors
+///
+/// A message for a malformed spec or unknown cell.
+pub fn run_spec(spec: &str) -> Result<String, String> {
+    let fields: Vec<&str> = spec.split('\t').collect();
+    let [version, kernel, label, dist, threads] = fields.as_slice() else {
+        return Err(format!("malformed spec ({} fields): {spec:?}", fields.len()));
+    };
+    if *version != SPEC_VERSION {
+        return Err(format!(
+            "spec version skew: worker speaks {SPEC_VERSION}, got {version:?}"
+        ));
+    }
+    let dist: u32 = dist.parse().map_err(|_| format!("bad dist in {spec:?}"))?;
+    let threads: usize = threads
+        .parse()
+        .map_err(|_| format!("bad threads in {spec:?}"))?;
+    let variant = variant_from(label, dist)?;
+    let stats = run_grid_cell(kernel, variant, threads)?;
+    Ok(encode_stats(&stats))
+}
+
+/// Encoding version tag of the stats payload.
+const STATS_VERSION: &str = "statsv1";
+
+/// Losslessly encodes a `RunStats` as one line of `key=value` fields.
+/// Floats are encoded by IEEE-754 bit pattern, so
+/// `decode_stats(encode_stats(s)) == s` exactly — including NaN
+/// payloads and negative zero. Field order is fixed, so equal stats
+/// encode to equal bytes (the property the byte-diff gate leans on).
+#[must_use]
+pub fn encode_stats(s: &RunStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(512);
+    out.push_str(STATS_VERSION);
+    let f = &s.faults;
+    let st = &s.stall;
+    let _ = write!(
+        out,
+        " cycles={} loads={} mll={:016x} verified={} e0={} e1={} e2={} e3={} \
+         q0occ={:016x} qprod={} qcons={} qdrained={} noci={} nocd={} hung={} core_cycles={}",
+        s.cycles,
+        s.loads,
+        s.mean_load_latency.to_bits(),
+        s.verified,
+        s.engine.0,
+        s.engine.1,
+        s.engine.2,
+        s.engine.3,
+        s.queue0_occupancy_mean.to_bits(),
+        s.queues_produced,
+        s.queues_consumed,
+        s.queues_drained,
+        s.noc_injected,
+        s.noc_delivered,
+        s.hung,
+        s.core_cycles,
+    );
+    let _ = write!(
+        out,
+        " f.noc_dropped={} f.noc_delayed={} f.dram_spikes={} f.acks_dropped={} \
+         f.fetch_timeouts={} f.fetch_retries={} f.poisoned_fetches={} f.replayed_responses={} \
+         f.mmio_timeouts={} f.mmio_retries={} f.resets_injected={} f.shootdowns_injected={} \
+         f.engines_poisoned={} f.ladder_rung={}",
+        f.noc_dropped,
+        f.noc_delayed,
+        f.dram_spikes,
+        f.acks_dropped,
+        f.fetch_timeouts,
+        f.fetch_retries,
+        f.poisoned_fetches,
+        f.replayed_responses,
+        f.mmio_timeouts,
+        f.mmio_retries,
+        f.resets_injected,
+        f.shootdowns_injected,
+        f.engines_poisoned,
+        f.ladder_rung,
+    );
+    let _ = write!(
+        out,
+        " s.l1_miss={} s.l2_miss={} s.dram={} s.consume_wait={} s.mmio={} s.fault_recovery={}",
+        st.l1_miss, st.l2_miss, st.dram, st.consume_wait, st.mmio, st.fault_recovery,
+    );
+    let cores: Vec<String> = s
+        .cores
+        .iter()
+        .map(|c| format!("{}:{}:{}", c.instructions, c.mem_stall_cycles, c.loads))
+        .collect();
+    let _ = write!(out, " cores={}", cores.join(","));
+    out
+}
+
+/// Decodes a payload produced by [`encode_stats`].
+///
+/// # Errors
+///
+/// A message naming the missing or malformed field — a coordinator
+/// receiving a corrupt payload fails that job, not the process.
+pub fn decode_stats(payload: &str) -> Result<RunStats, String> {
+    let mut fields = payload.split(' ');
+    let version = fields.next().unwrap_or_default();
+    if version != STATS_VERSION {
+        return Err(format!(
+            "stats version skew: expected {STATS_VERSION}, got {version:?}"
+        ));
+    }
+    let mut map = std::collections::HashMap::new();
+    for field in fields {
+        let (k, v) = field
+            .split_once('=')
+            .ok_or_else(|| format!("malformed stats field {field:?}"))?;
+        map.insert(k, v);
+    }
+    let take = |k: &str| -> Result<&str, String> {
+        map.get(k)
+            .copied()
+            .ok_or_else(|| format!("stats payload missing field {k:?}"))
+    };
+    let u = |k: &str| -> Result<u64, String> {
+        take(k)?.parse().map_err(|_| format!("bad u64 field {k:?}"))
+    };
+    let b = |k: &str| -> Result<bool, String> {
+        take(k)?.parse().map_err(|_| format!("bad bool field {k:?}"))
+    };
+    let fl = |k: &str| -> Result<f64, String> {
+        let bits = u64::from_str_radix(take(k)?, 16).map_err(|_| format!("bad f64 field {k:?}"))?;
+        Ok(f64::from_bits(bits))
+    };
+    let cores_raw = take("cores")?;
+    let mut cores = Vec::new();
+    if !cores_raw.is_empty() {
+        for item in cores_raw.split(',') {
+            let parts: Vec<&str> = item.split(':').collect();
+            let [i, m, l] = parts.as_slice() else {
+                return Err(format!("bad core detail {item:?}"));
+            };
+            cores.push(CoreDetail {
+                instructions: i.parse().map_err(|_| format!("bad core field {item:?}"))?,
+                mem_stall_cycles: m.parse().map_err(|_| format!("bad core field {item:?}"))?,
+                loads: l.parse().map_err(|_| format!("bad core field {item:?}"))?,
+            });
+        }
+    }
+    let faults = FaultReport {
+        noc_dropped: u("f.noc_dropped")?,
+        noc_delayed: u("f.noc_delayed")?,
+        dram_spikes: u("f.dram_spikes")?,
+        acks_dropped: u("f.acks_dropped")?,
+        fetch_timeouts: u("f.fetch_timeouts")?,
+        fetch_retries: u("f.fetch_retries")?,
+        poisoned_fetches: u("f.poisoned_fetches")?,
+        replayed_responses: u("f.replayed_responses")?,
+        mmio_timeouts: u("f.mmio_timeouts")?,
+        mmio_retries: u("f.mmio_retries")?,
+        resets_injected: u("f.resets_injected")?,
+        shootdowns_injected: u("f.shootdowns_injected")?,
+        engines_poisoned: u("f.engines_poisoned")?,
+        ladder_rung: u("f.ladder_rung")?,
+    };
+    let stall = maple_trace::StallBreakdown {
+        l1_miss: u("s.l1_miss")?,
+        l2_miss: u("s.l2_miss")?,
+        dram: u("s.dram")?,
+        consume_wait: u("s.consume_wait")?,
+        mmio: u("s.mmio")?,
+        fault_recovery: u("s.fault_recovery")?,
+    };
+    Ok(RunStats {
+        cycles: u("cycles")?,
+        loads: u("loads")?,
+        mean_load_latency: fl("mll")?,
+        verified: b("verified")?,
+        cores,
+        engine: (u("e0")?, u("e1")?, u("e2")?, u("e3")?),
+        queue0_occupancy_mean: fl("q0occ")?,
+        queues_produced: u("qprod")?,
+        queues_consumed: u("qcons")?,
+        queues_drained: b("qdrained")?,
+        noc_injected: u("noci")?,
+        noc_delivered: u("nocd")?,
+        hung: b("hung")?,
+        faults,
+        core_cycles: u("core_cycles")?,
+        stall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_codec_is_lossless() {
+        // A real run's stats must survive the wire exactly — the
+        // equality the distributed determinism gate rests on.
+        let stats = run_grid_cell("spmv", Variant::MapleDecoupled, 2).unwrap();
+        let decoded = decode_stats(&encode_stats(&stats)).unwrap();
+        assert_eq!(decoded, stats);
+        // And the encoding itself is stable.
+        assert_eq!(encode_stats(&decoded), encode_stats(&stats));
+    }
+
+    #[test]
+    fn float_fields_travel_by_bit_pattern() {
+        let mut stats = run_grid_cell("bfs", Variant::Doall, 2).unwrap();
+        stats.mean_load_latency = f64::NAN;
+        stats.queue0_occupancy_mean = -0.0;
+        let decoded = decode_stats(&encode_stats(&stats)).unwrap();
+        assert_eq!(
+            decoded.mean_load_latency.to_bits(),
+            stats.mean_load_latency.to_bits()
+        );
+        assert_eq!(decoded.queue0_occupancy_mean.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn run_spec_round_trips_every_grid_cell() {
+        for (kernel, v, t) in grid_cells() {
+            let spec = spec_of(&kernel, v, t);
+            let payload = run_spec(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            let remote = decode_stats(&payload).unwrap();
+            let local = run_grid_cell(&kernel, v, t).unwrap();
+            assert_eq!(remote, local, "{spec}: wire result must equal local");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_fail_typed_not_crashing() {
+        for bad in [
+            "",
+            "gridv0\tspmv\tdoall\t0\t2",
+            "gridv1\tnope\tdoall\t0\t2",
+            "gridv1\tspmv\tnope\t0\t2",
+            "gridv1\tspmv\tdoall\tx\t2",
+            "gridv1\tspmv\tdoall\t0",
+        ] {
+            assert!(run_spec(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn job_keys_separate_cells_and_track_config() {
+        let a = job_key("spmv", Variant::Doall, 2);
+        let b = job_key("spmv", Variant::MapleDecoupled, 2);
+        let c = job_key("bfs", Variant::Doall, 2);
+        assert!(a != b && a != c && b != c);
+        assert_eq!(a, job_key("spmv", Variant::Doall, 2), "stable across calls");
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed_errors() {
+        let good = encode_stats(&run_grid_cell("spmv", Variant::Doall, 2).unwrap());
+        assert!(decode_stats("").is_err());
+        assert!(decode_stats("statsv0 cycles=1").is_err());
+        assert!(decode_stats(&good[..good.len() / 2]).is_err(), "truncated");
+        assert!(decode_stats("statsv1 cycles=abc").is_err());
+    }
+}

@@ -236,6 +236,18 @@ pub fn build_json(
                 ),
                 ("simulated_cycles", Json::from(p.cycles)),
                 ("host_cores", Json::from(p.host_cores as u64)),
+                // Honesty tag: on a 1-core host the parallel stepper
+                // cannot beat the single-threaded baseline, so readers
+                // (and ci.sh) must not treat speedup ~1.0x as a
+                // regression there. Bit-exactness is still enforced.
+                (
+                    "speedup_gate",
+                    Json::from(if p.host_cores <= 1 {
+                        "skipped (host_cores=1 pins speedup at ~1.0x)"
+                    } else {
+                        "enforced"
+                    }),
+                ),
                 (
                     "skipping_mcycles_per_sec",
                     Json::from(p.skipping_mcycles_per_sec),

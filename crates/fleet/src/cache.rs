@@ -13,10 +13,33 @@
 //! Writes go through a temp file + rename so concurrent writers (e.g.
 //! two fleet workers finishing the same key after a racey double miss)
 //! leave a complete entry either way.
+//!
+//! Entries carry an integrity header (`maple-fleet-entry v2
+//! len=<bytes> sum=<digest>`): a load that finds a truncated, corrupt,
+//! or headerless file — a writer killed before the rename on a
+//! filesystem that reordered the data flush, bit-rot, or a
+//! pre-integrity-era entry — treats it as a **miss and evicts the
+//! entry**, never a panic or a garbage row bubbling into a batch. The
+//! caller recomputes and overwrites; a distributed fleet pooling one
+//! cache directory can therefore survive any worker dying at any point
+//! of a `put`.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use crate::digest::Digest;
+
+/// Schema tag of the entry checksum digest; bumping it invalidates every
+/// on-disk entry (they evict as corrupt on first touch).
+const ENTRY_SCHEMA: u64 = 2;
+
+/// Magic first header field of a well-formed entry.
+const ENTRY_MAGIC: &str = "maple-fleet-entry v2";
+
+fn entry_sum(payload: &str) -> u64 {
+    Digest::new(ENTRY_SCHEMA).str(payload).finish()
+}
 
 /// The workspace root, derived from this crate's compile-time manifest
 /// directory (`crates/fleet` → two `pop`s).
@@ -90,11 +113,39 @@ impl ResultCache {
         self.root.join(format!("{key:016x}.entry"))
     }
 
-    /// Looks up an entry. `None` on a miss; an unreadable entry is a
-    /// miss, not an error (the caller will recompute and overwrite it).
+    /// Looks up an entry. `None` on a miss; an unreadable, truncated, or
+    /// corrupt entry is a miss **and is evicted** — the caller will
+    /// recompute and overwrite it. Never panics and never returns a
+    /// payload that fails its integrity check.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<String> {
-        fs::read_to_string(self.entry_path(key)).ok()
+        let path = self.entry_path(key);
+        let bytes = fs::read(&path).ok()?;
+        match Self::parse_entry(&bytes) {
+            Some(payload) => Some(payload),
+            None => {
+                // Corrupt or pre-integrity entry: evict so the slot heals
+                // on the next put instead of failing every lookup.
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Validates and extracts the payload of an on-disk entry; `None` on
+    /// any deviation from the v2 format.
+    fn parse_entry(bytes: &[u8]) -> Option<String> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let (header, payload) = text.split_once('\n')?;
+        let rest = header.strip_prefix(ENTRY_MAGIC)?;
+        let rest = rest.strip_prefix(" len=")?;
+        let (len, rest) = rest.split_once(" sum=")?;
+        let len: usize = len.parse().ok()?;
+        let sum = u64::from_str_radix(rest, 16).ok()?;
+        if payload.len() != len || entry_sum(payload) != sum {
+            return None;
+        }
+        Some(payload.to_owned())
     }
 
     /// Stores an entry, replacing any previous value at this key.
@@ -109,7 +160,12 @@ impl ResultCache {
             ".{key:016x}.{}.tmp",
             std::process::id()
         ));
-        fs::write(&tmp, value)?;
+        let entry = format!(
+            "{ENTRY_MAGIC} len={} sum={:016x}\n{value}",
+            value.len(),
+            entry_sum(value)
+        );
+        fs::write(&tmp, entry)?;
         fs::rename(&tmp, &path)
     }
 
@@ -203,6 +259,55 @@ mod tests {
         assert!(!cache.is_empty().unwrap());
         cache.clear().unwrap();
         assert!(cache.is_empty().unwrap());
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses_and_are_evicted() {
+        let cache = ResultCache::open(scratch("corrupt")).unwrap();
+        cache.put(7, "good row\n").unwrap();
+        let path = cache.root().join(format!("{:016x}.entry", 7u64));
+
+        // Truncated mid-write: drop the tail of a valid entry.
+        let full = fs::read(&path).unwrap();
+        for cut in [0, 1, full.len() / 2, full.len() - 1] {
+            fs::write(&path, &full[..cut]).unwrap();
+            assert_eq!(cache.get(7), None, "cut at {cut} must be a miss");
+            assert!(!path.exists(), "cut at {cut} must be evicted");
+            cache.put(7, "good row\n").unwrap(); // heals
+            assert_eq!(cache.get(7).as_deref(), Some("good row\n"));
+        }
+
+        // Bit-rot: flip a payload byte under an otherwise intact header.
+        let mut rotted = fs::read(&path).unwrap();
+        let last = rotted.len() - 2;
+        rotted[last] ^= 0x40;
+        fs::write(&path, &rotted).unwrap();
+        assert_eq!(cache.get(7), None, "checksum mismatch is a miss");
+        assert!(!path.exists());
+
+        // Garbage bytes (not even UTF-8), and a headerless v1-era entry.
+        fs::write(&path, [0xFF, 0xFE, 0x00, 0x9C]).unwrap();
+        assert_eq!(cache.get(7), None);
+        assert!(!path.exists());
+        fs::write(&path, "bare v1 payload with no header\n").unwrap();
+        assert_eq!(cache.get(7), None, "pre-integrity entries evict as misses");
+        assert!(!path.exists());
+
+        // The slot still works after all that abuse.
+        cache.put(7, "recomputed\n").unwrap();
+        assert_eq!(cache.get(7).as_deref(), Some("recomputed\n"));
+        let _ = fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn header_cannot_be_spoofed_by_payload_content() {
+        // A payload that *contains* an entry header must round-trip
+        // verbatim — framing is by the outer header's length field.
+        let cache = ResultCache::open(scratch("spoof")).unwrap();
+        let tricky = format!("{ENTRY_MAGIC} len=0 sum=0000000000000000\nrow\n");
+        cache.put(9, &tricky).unwrap();
+        assert_eq!(cache.get(9).as_deref(), Some(tricky.as_str()));
         let _ = fs::remove_dir_all(cache.root());
     }
 

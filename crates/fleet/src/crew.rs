@@ -16,6 +16,7 @@
 //! reference, which is how the soc crate's partitioned stepper proves
 //! itself bit-exact at any worker count.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -29,6 +30,10 @@ pub struct Crew<T> {
     cursor: AtomicUsize,
     done: AtomicUsize,
     stop: AtomicBool,
+    /// First panic payload caught during a round; the hub re-raises it
+    /// at the barrier instead of spinning forever on a slot that will
+    /// never report done.
+    fault: Mutex<Option<String>>,
 }
 
 impl<T: Send> Crew<T> {
@@ -41,6 +46,7 @@ impl<T: Send> Crew<T> {
             cursor: AtomicUsize::new(usize::MAX),
             done: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
+            fault: Mutex::new(None),
         }
     }
 
@@ -82,6 +88,13 @@ impl<T: Send> Crew<T> {
         work: &(impl Fn(usize, &mut T) + Sync),
         hub: impl FnOnce(&Conductor<'_, T>) -> R,
     ) -> R {
+        // Fresh session: clear the previous run's stop flag (set by its
+        // guard) and any stale fault so helpers actually participate and
+        // old panics cannot resurface. No other thread is live here.
+        self.stop.store(false, Ordering::Release);
+        if let Ok(mut fault) = self.fault.lock() {
+            *fault = None;
+        }
         std::thread::scope(|s| {
             for _ in 0..helpers {
                 s.spawn(|| {
@@ -106,13 +119,27 @@ impl<T: Send> Crew<T> {
                     }
                 });
             }
-            let out = hub(&Conductor { crew: self, work });
-            self.stop.store(true, Ordering::Release);
-            out
+            // The guard sets `stop` even when `hub` unwinds: without it
+            // the helpers would spin forever on a new epoch that never
+            // comes and `thread::scope` would never join — a panicking
+            // hub must shut the gang down, not hang it.
+            struct StopGuard<'a>(&'a AtomicBool);
+            impl Drop for StopGuard<'_> {
+                fn drop(&mut self) {
+                    self.0.store(true, Ordering::Release);
+                }
+            }
+            let _stop_on_exit = StopGuard(&self.stop);
+            hub(&Conductor { crew: self, work })
         })
     }
 
     /// Claims and processes slots until the cursor runs past the end.
+    ///
+    /// A panicking `work` closure is caught *inside* the lock scope (the
+    /// guard drops normally, so the slot mutex is never poisoned), the
+    /// payload is recorded for the hub to re-raise at the barrier, and
+    /// `done` still advances — the barrier always completes.
     fn drain(&self, work: &impl Fn(usize, &mut T)) {
         loop {
             let i = self.cursor.fetch_add(1, Ordering::AcqRel);
@@ -120,7 +147,11 @@ impl<T: Send> Crew<T> {
                 return;
             }
             let mut slot = self.slots[i].lock().expect("a crew worker panicked mid-round");
-            work(i, &mut slot);
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| work(i, &mut slot))) {
+                if let Ok(mut fault) = self.fault.lock() {
+                    fault.get_or_insert_with(|| crate::pool::panic_message(&*payload));
+                }
+            }
             drop(slot);
             self.done.fetch_add(1, Ordering::AcqRel);
         }
@@ -142,6 +173,14 @@ impl<T: Send> Conductor<'_, T> {
     /// Runs one barrier round: every slot is processed by `work` exactly
     /// once; returns when the last slot completes. The calling (hub)
     /// thread participates in the drain rather than just waiting.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic any gang member caught while processing
+    /// a slot this round. The barrier itself always completes first —
+    /// every slot is accounted for and no mutex is poisoned — so the
+    /// panic unwinds a *quiescent* gang and [`Crew::run`]'s stop guard
+    /// shuts the helpers down cleanly.
     pub fn round(&self) {
         let crew = self.crew;
         // Order matters: `done` must read zero and the cursor must point
@@ -156,6 +195,10 @@ impl<T: Send> Conductor<'_, T> {
             // and a pure spin would burn the hub's whole quantum.
             std::hint::spin_loop();
             std::thread::yield_now();
+        }
+        let fault = crew.fault.lock().ok().and_then(|mut f| f.take());
+        if let Some(message) = fault {
+            panic!("crew round panicked: {message}");
         }
     }
 
@@ -237,5 +280,53 @@ mod tests {
         let answer = crew.run(3, &|_, ()| {}, |_| 41 + 1);
         assert_eq!(answer, 42);
         assert_eq!(crew.into_slots().len(), 4);
+    }
+
+    #[test]
+    fn panicking_gang_member_shuts_down_instead_of_hanging() {
+        // A work closure that panics on one slot must not hang the
+        // barrier or poison a mutex: the round completes, the hub
+        // re-raises, the stop guard releases the helpers, and the crew
+        // (slots included) remains usable afterwards.
+        for helpers in [0, 1, 3] {
+            let crew = Crew::new(vec![0u64; 5]);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                crew.run(
+                    helpers,
+                    &|i, slot: &mut u64| {
+                        assert!(i != 2, "slot two is broken");
+                        *slot += 1;
+                    },
+                    |conductor| {
+                        conductor.round();
+                        conductor.round(); // never reached
+                    },
+                )
+            }));
+            let payload = result.expect_err("hub re-raises the slot panic");
+            let message = crate::pool::panic_message(&*payload);
+            assert!(message.contains("slot two is broken"), "helpers={helpers}: {message}");
+            // No poisoned mutexes: slots are recoverable, and the healthy
+            // slots did their round-1 work exactly once.
+            let slots = crew.into_slots();
+            assert_eq!(slots, vec![1, 1, 0, 1, 1], "helpers={helpers}");
+        }
+    }
+
+    #[test]
+    fn crew_is_reusable_after_a_caught_panic() {
+        let crew = Crew::new(vec![0u64; 3]);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            crew.run(
+                2,
+                &|_, _: &mut u64| panic!("boom"),
+                |conductor| conductor.round(),
+            );
+        }));
+        assert!(caught.is_err());
+        // A fresh run over the same crew works and sees no residue of
+        // the old fault.
+        crew.run(2, &|_, slot: &mut u64| *slot += 10, |c| c.round());
+        assert_eq!(crew.into_slots(), vec![10, 10, 10]);
     }
 }

@@ -24,7 +24,20 @@
 //! - [`cache`]: a content-addressed result cache on disk, rooted under
 //!   the workspace `target/` directory (honoring `CARGO_TARGET_DIR`), so
 //!   editing a configuration or timing table invalidates exactly the
-//!   affected entries instead of requiring a manual cache wipe.
+//!   affected entries instead of requiring a manual cache wipe. Entries
+//!   carry an integrity header: truncated or bit-rotted files are
+//!   evicted misses, never panics.
+//! - [`net`]: the distributed fleet's wire layer — a length-prefixed
+//!   frame protocol over `std::net`, a [`net::Transport`] trait with a
+//!   deterministic in-process loopback worker, and a seeded
+//!   [`net::FaultyTransport`] chaos wrapper (drop/delay/truncate/crash
+//!   schedules) so the protocol tests without sockets.
+//! - [`remote`]: the fault-tolerant coordinator/worker runtime — per-job
+//!   leases with heartbeats, lease expiry → reassignment (at-least-once
+//!   dispatch made exactly-once-by-construction through `Digest`-keyed
+//!   dedup in the shared cache), jitter-free exponential backoff with
+//!   strike budgets, and a remote → degraded → local degradation ladder
+//!   that finishes any batch on the local [`pool`] when workers die.
 //!
 //! The crate is hermetic by design: std-only, zero dependencies (not even
 //! on other workspace crates — `maple-sim` itself builds on it).
@@ -43,9 +56,20 @@
 pub mod cache;
 pub mod crew;
 pub mod digest;
+pub mod net;
 pub mod pool;
+pub mod remote;
 
 pub use cache::ResultCache;
 pub use crew::{Conductor, Crew};
 pub use digest::Digest;
-pub use pool::{jobs_from_env, run_batch, Batch, BatchStats, FleetConfig, JobError, JobOutcome, JobStats};
+pub use net::{
+    FaultyTransport, LoopbackWorker, Msg, NetFaultConfig, RemoteError, TcpTransport, Transport,
+};
+pub use pool::{
+    jobs_from_env, run_batch, Batch, BatchStats, FailureKind, FleetConfig, JobError, JobOutcome,
+    JobStats,
+};
+pub use remote::{
+    run_remote, serve_connection, RemoteBatch, RemoteConfig, RemoteJob, RemoteStats, Rung,
+};

@@ -1,0 +1,1102 @@
+//! Wire protocol and transport layer for the distributed fleet.
+//!
+//! The coordinator/worker protocol is a length-prefixed frame stream
+//! carrying [`Msg`] values: every frame is `MAGIC (4 LE bytes) | payload
+//! length (4 LE bytes) | payload`, and every payload is a tag byte
+//! followed by fixed-order little-endian fields (strings are
+//! `u32`-length-prefixed). The codec is hand-rolled and std-only so the
+//! workspace keeps its zero-crates.io constraint; it is versioned through
+//! the [`Msg::Hello`]/[`Msg::Welcome`] handshake rather than per-frame.
+//!
+//! Transports implement one narrow [`Transport`] trait — a non-blocking
+//! `poll` plus a `send` — with three implementations:
+//!
+//! - [`TcpTransport`]: real sockets over `std::net`, used by the
+//!   `fleet_worker` binary and the coordinator's TCP mode.
+//! - [`LoopbackWorker`]: a fully in-process, single-threaded worker whose
+//!   "network" is a message queue and whose "computation time" is counted
+//!   in coordinator polls. Every run over loopback transports is
+//!   deterministic to the byte — counters included — which is how the
+//!   whole protocol (leases, heartbeats, reassignment, degradation) runs
+//!   under `cargo test` with no real sockets.
+//! - [`FaultyTransport`]: a seeded chaos wrapper over any transport that
+//!   drops, delays, truncates and disconnects according to a
+//!   deterministic schedule — the same philosophy as the simulator's
+//!   fault plane (`crates/sim/src/fault.rs`), applied to the harness
+//!   network.
+//!
+//! Failure surfaces through the typed [`RemoteError`] taxonomy, which the
+//! pool threads into [`crate::pool::JobError`] via
+//! [`crate::pool::FailureKind`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::digest::splitmix64;
+
+/// Protocol version negotiated by the Hello/Welcome handshake. Bump on
+/// any change to the frame layout or message set.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Frame magic: rejects connections from things that are not a fleet
+/// peer before any length field is trusted.
+pub const FRAME_MAGIC: u32 = 0x4D41_504C; // "MAPL"
+
+/// Upper bound on one frame's payload; a length field beyond this is a
+/// protocol error, not an allocation request.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Typed failure taxonomy of the remote layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// Could not establish a connection (dial failure after retries).
+    Connect(String),
+    /// An established connection failed on read or write.
+    Io(String),
+    /// A frame ended before its declared length (killed peer mid-write,
+    /// or chaos-plane truncation).
+    Truncated {
+        /// Bytes the frame declared or the decoder needed.
+        wanted: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// Bytes arrived but do not parse as a protocol frame.
+    Protocol(String),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// Our [`PROTOCOL_VERSION`].
+        ours: u32,
+        /// The version the peer announced.
+        theirs: u32,
+    },
+    /// The peer is gone (EOF, reset, or chaos-plane crash).
+    Disconnected,
+    /// A dispatched job's lease expired without a result or heartbeat.
+    LeaseExpired {
+        /// Dispatch id of the expired assignment.
+        dispatch: u64,
+    },
+    /// The coordinator ran out of its poll budget and aborted the batch
+    /// (the test hook that models a coordinator crash/restart).
+    Aborted {
+        /// Polls performed before the abort.
+        polls: u64,
+    },
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Connect(m) => write!(f, "connect failed: {m}"),
+            RemoteError::Io(m) => write!(f, "i/o error: {m}"),
+            RemoteError::Truncated { wanted, got } => {
+                write!(f, "truncated frame: wanted {wanted} bytes, got {got}")
+            }
+            RemoteError::Protocol(m) => write!(f, "protocol error: {m}"),
+            RemoteError::VersionMismatch { ours, theirs } => {
+                write!(f, "version mismatch: ours v{ours}, peer v{theirs}")
+            }
+            RemoteError::Disconnected => write!(f, "peer disconnected"),
+            RemoteError::LeaseExpired { dispatch } => {
+                write!(f, "lease expired on dispatch {dispatch}")
+            }
+            RemoteError::Aborted { polls } => {
+                write!(f, "coordinator aborted after {polls} polls")
+            }
+        }
+    }
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Coordinator → worker: opens the session.
+    Hello {
+        /// Coordinator's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Coordinator-assigned worker index (for worker-side logs).
+        worker: u64,
+    },
+    /// Worker → coordinator: handshake reply.
+    Welcome {
+        /// Worker's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Coordinator → worker: one job assignment.
+    Job {
+        /// Unique dispatch id (one per assignment *attempt*; a reassigned
+        /// job gets a fresh id, which is how stale results are routed).
+        dispatch: u64,
+        /// Content key of the job (the `Digest` the shared cache uses).
+        key: u64,
+        /// Opaque job descriptor the worker's runner understands.
+        spec: String,
+    },
+    /// Worker → coordinator: still alive and computing `dispatch`.
+    Heartbeat {
+        /// Dispatch id being worked on.
+        dispatch: u64,
+    },
+    /// Worker → coordinator: job finished.
+    Done {
+        /// Dispatch id of the completed assignment.
+        dispatch: u64,
+        /// Content key echoed back (cache insertion needs no lookup).
+        key: u64,
+        /// Result payload (location-independent by the digest contract).
+        payload: String,
+    },
+    /// Worker → coordinator: the runner reported a typed failure (the
+    /// job ran and failed — distinct from the worker dying).
+    Failed {
+        /// Dispatch id of the failed assignment.
+        dispatch: u64,
+        /// The runner's error message.
+        message: String,
+    },
+    /// Coordinator → worker: batch over, the worker may exit.
+    Bye,
+}
+
+impl Msg {
+    /// Encodes the message payload (tag + fields, no frame header).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32);
+        match self {
+            Msg::Hello { version, worker } => {
+                b.push(1);
+                b.extend_from_slice(&version.to_le_bytes());
+                b.extend_from_slice(&worker.to_le_bytes());
+            }
+            Msg::Welcome { version } => {
+                b.push(2);
+                b.extend_from_slice(&version.to_le_bytes());
+            }
+            Msg::Job { dispatch, key, spec } => {
+                b.push(3);
+                b.extend_from_slice(&dispatch.to_le_bytes());
+                b.extend_from_slice(&key.to_le_bytes());
+                put_str(&mut b, spec);
+            }
+            Msg::Heartbeat { dispatch } => {
+                b.push(4);
+                b.extend_from_slice(&dispatch.to_le_bytes());
+            }
+            Msg::Done { dispatch, key, payload } => {
+                b.push(5);
+                b.extend_from_slice(&dispatch.to_le_bytes());
+                b.extend_from_slice(&key.to_le_bytes());
+                put_str(&mut b, payload);
+            }
+            Msg::Failed { dispatch, message } => {
+                b.push(6);
+                b.extend_from_slice(&dispatch.to_le_bytes());
+                put_str(&mut b, message);
+            }
+            Msg::Bye => b.push(7),
+        }
+        b
+    }
+
+    /// Decodes one message payload.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Truncated`] when the bytes end mid-field,
+    /// [`RemoteError::Protocol`] on an unknown tag, trailing garbage, or
+    /// a non-UTF-8 string field.
+    pub fn decode(bytes: &[u8]) -> Result<Msg, RemoteError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let tag = r.u8()?;
+        let msg = match tag {
+            1 => Msg::Hello {
+                version: r.u32()?,
+                worker: r.u64()?,
+            },
+            2 => Msg::Welcome { version: r.u32()? },
+            3 => Msg::Job {
+                dispatch: r.u64()?,
+                key: r.u64()?,
+                spec: r.string()?,
+            },
+            4 => Msg::Heartbeat { dispatch: r.u64()? },
+            5 => Msg::Done {
+                dispatch: r.u64()?,
+                key: r.u64()?,
+                payload: r.string()?,
+            },
+            6 => Msg::Failed {
+                dispatch: r.u64()?,
+                message: r.string()?,
+            },
+            7 => Msg::Bye,
+            t => return Err(RemoteError::Protocol(format!("unknown message tag {t}"))),
+        };
+        if r.pos != bytes.len() {
+            return Err(RemoteError::Protocol(format!(
+                "{} trailing bytes after message",
+                bytes.len() - r.pos
+            )));
+        }
+        Ok(msg)
+    }
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    b.extend_from_slice(&u32::try_from(s.len()).unwrap_or(u32::MAX).to_le_bytes());
+    b.extend_from_slice(s.as_bytes());
+}
+
+/// Cursor over a decode buffer; every read is bounds-checked into a
+/// typed [`RemoteError::Truncated`].
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], RemoteError> {
+        if self.buf.len() - self.pos < n {
+            return Err(RemoteError::Truncated {
+                wanted: n,
+                got: self.buf.len() - self.pos,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, RemoteError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, RemoteError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, RemoteError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn string(&mut self) -> Result<String, RemoteError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| RemoteError::Protocol("non-UTF-8 string field".into()))
+    }
+}
+
+/// Encodes a full frame (header + payload) for `msg`.
+#[must_use]
+pub fn frame_bytes(msg: &Msg) -> Vec<u8> {
+    let payload = msg.encode();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+    out.extend_from_slice(&u32::try_from(payload.len()).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Tries to split one complete frame off the front of `buf`. Returns the
+/// decoded message and consumes its bytes, or `Ok(None)` when the buffer
+/// holds only a partial frame.
+///
+/// # Errors
+///
+/// [`RemoteError::Protocol`] on a bad magic or an oversized length
+/// (stream unrecoverable — length-prefixed framing cannot resync), or
+/// any payload decode error.
+pub fn take_frame(buf: &mut Vec<u8>) -> Result<Option<Msg>, RemoteError> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if magic != FRAME_MAGIC {
+        return Err(RemoteError::Protocol(format!(
+            "bad frame magic {magic:#010x}"
+        )));
+    }
+    let len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(RemoteError::Protocol(format!(
+            "frame length {len} exceeds limit {MAX_FRAME_LEN}"
+        )));
+    }
+    let len = len as usize;
+    if buf.len() < 8 + len {
+        return Ok(None);
+    }
+    let msg = Msg::decode(&buf[8..8 + len])?;
+    buf.drain(..8 + len);
+    Ok(Some(msg))
+}
+
+/// A bidirectional message channel to one peer.
+///
+/// `poll` is non-blocking by contract: the coordinator multiplexes many
+/// workers from one thread by polling each in turn, so a transport that
+/// blocked in `poll` would stall the whole batch on its slowest peer.
+pub trait Transport {
+    /// Sends one message.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RemoteError`] when the peer is unreachable.
+    fn send(&mut self, msg: &Msg) -> Result<(), RemoteError>;
+
+    /// Polls for one received message; `Ok(None)` when nothing is
+    /// available right now.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`RemoteError`] when the connection is broken; once an
+    /// error is returned the connection is considered dead.
+    fn poll(&mut self) -> Result<Option<Msg>, RemoteError>;
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+/// [`Transport`] over a real `std::net::TcpStream`.
+///
+/// Reads are non-blocking and buffered (frames reassemble across
+/// arbitrary segmentation); writes temporarily flip the stream back to
+/// blocking so a large frame is never half-sent.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    rdbuf: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Wraps an established stream (either side of the connection).
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Io`] when the socket cannot be configured.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, RemoteError> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| RemoteError::Io(e.to_string()))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| RemoteError::Io(e.to_string()))?;
+        Ok(TcpTransport {
+            stream,
+            rdbuf: Vec::new(),
+        })
+    }
+
+    /// Dials `addr`, retrying with exponential backoff: attempt `i`
+    /// sleeps `base * 2^i` before retrying, up to `retries` retries.
+    /// The schedule is a pure function of the arguments — no jitter — so
+    /// two coordinators given the same budget behave identically.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteError::Connect`] when every attempt fails.
+    pub fn dial(addr: &str, retries: u32, base: Duration) -> Result<Self, RemoteError> {
+        let mut last = String::new();
+        for attempt in 0..=retries {
+            match TcpStream::connect(addr) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) => last = e.to_string(),
+            }
+            if attempt < retries {
+                std::thread::sleep(base * 2u32.saturating_pow(attempt));
+            }
+        }
+        Err(RemoteError::Connect(format!(
+            "{addr}: {last} (after {} attempts)",
+            retries + 1
+        )))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, msg: &Msg) -> Result<(), RemoteError> {
+        let bytes = frame_bytes(msg);
+        self.stream
+            .set_nonblocking(false)
+            .map_err(|e| RemoteError::Io(e.to_string()))?;
+        let res = self.stream.write_all(&bytes).and_then(|()| self.stream.flush());
+        let back = self.stream.set_nonblocking(true);
+        res.map_err(|e| match e.kind() {
+            std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted => RemoteError::Disconnected,
+            _ => RemoteError::Io(e.to_string()),
+        })?;
+        back.map_err(|e| RemoteError::Io(e.to_string()))
+    }
+
+    fn poll(&mut self) -> Result<Option<Msg>, RemoteError> {
+        // Drain whatever the socket has right now into the frame buffer.
+        let mut chunk = [0u8; 4096];
+        let mut eof = false;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => self.rdbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionReset
+                            | std::io::ErrorKind::ConnectionAborted
+                    ) =>
+                {
+                    return Err(RemoteError::Disconnected)
+                }
+                Err(e) => return Err(RemoteError::Io(e.to_string())),
+            }
+        }
+        match take_frame(&mut self.rdbuf)? {
+            // Frames that landed before the close still deliver (e.g. a
+            // Bye followed immediately by the peer hanging up).
+            Some(msg) => Ok(Some(msg)),
+            None if !eof => Ok(None),
+            None if self.rdbuf.is_empty() => Err(RemoteError::Disconnected),
+            // EOF mid-frame: the peer died partway through a write.
+            None => Err(RemoteError::Truncated {
+                wanted: 8,
+                got: self.rdbuf.len(),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------------
+
+/// Boxed job runner: spec string in, result payload (or error) out.
+type Runner = Box<dyn Fn(&str) -> Result<String, String> + Send>;
+
+/// Deterministic in-process worker: the coordinator-side [`Transport`]
+/// *is* the worker.
+///
+/// Time is counted in coordinator polls, not wall-clock: a job takes
+/// [`LoopbackWorker::work_polls`] polls to "compute" (the runner itself
+/// executes synchronously at completion), and while computing the worker
+/// emits a [`Msg::Heartbeat`] every `heartbeat_every` polls (0 = never —
+/// the configuration that demonstrates lease expiry). With the defaults
+/// (instant work) a `send(Job)` is answered by `Done` on the next poll.
+pub struct LoopbackWorker {
+    runner: Runner,
+    /// Polls a job takes before its result is ready.
+    pub work_polls: u64,
+    /// Emit a heartbeat every this many polls while computing (0 = off).
+    pub heartbeat_every: u64,
+    /// Version announced in [`Msg::Welcome`] (a test knob for the
+    /// mismatch path; defaults to [`PROTOCOL_VERSION`]).
+    pub advertise_version: u32,
+    pending: Option<PendingJob>,
+    outbox: VecDeque<Msg>,
+}
+
+struct PendingJob {
+    dispatch: u64,
+    key: u64,
+    spec: String,
+    waited: u64,
+}
+
+impl fmt::Debug for LoopbackWorker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LoopbackWorker")
+            .field("work_polls", &self.work_polls)
+            .field("heartbeat_every", &self.heartbeat_every)
+            .field("busy", &self.pending.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl LoopbackWorker {
+    /// A worker that answers jobs with `runner` instantly.
+    #[must_use]
+    pub fn new(runner: impl Fn(&str) -> Result<String, String> + Send + 'static) -> Self {
+        LoopbackWorker {
+            runner: Box::new(runner),
+            work_polls: 0,
+            heartbeat_every: 0,
+            advertise_version: PROTOCOL_VERSION,
+            pending: None,
+            outbox: VecDeque::new(),
+        }
+    }
+
+    /// Sets the simulated computation time, in coordinator polls.
+    #[must_use]
+    pub fn with_work_polls(mut self, polls: u64) -> Self {
+        self.work_polls = polls;
+        self
+    }
+
+    /// Sets the heartbeat cadence while computing (0 = no heartbeats).
+    #[must_use]
+    pub fn with_heartbeat_every(mut self, polls: u64) -> Self {
+        self.heartbeat_every = polls;
+        self
+    }
+}
+
+impl Transport for LoopbackWorker {
+    fn send(&mut self, msg: &Msg) -> Result<(), RemoteError> {
+        match msg {
+            Msg::Hello { version, .. } => {
+                if *version != PROTOCOL_VERSION {
+                    return Err(RemoteError::VersionMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: *version,
+                    });
+                }
+                self.outbox.push_back(Msg::Welcome {
+                    version: self.advertise_version,
+                });
+            }
+            Msg::Job { dispatch, key, spec } => {
+                if self.pending.is_some() {
+                    return Err(RemoteError::Protocol(
+                        "job assigned to a busy worker".into(),
+                    ));
+                }
+                self.pending = Some(PendingJob {
+                    dispatch: *dispatch,
+                    key: *key,
+                    spec: spec.clone(),
+                    waited: 0,
+                });
+            }
+            Msg::Bye => {}
+            other => {
+                return Err(RemoteError::Protocol(format!(
+                    "coordinator sent worker-only message {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn poll(&mut self) -> Result<Option<Msg>, RemoteError> {
+        if let Some(m) = self.outbox.pop_front() {
+            return Ok(Some(m));
+        }
+        if let Some(p) = &mut self.pending {
+            p.waited += 1;
+            if p.waited > self.work_polls {
+                let p = self.pending.take().expect("pending job present");
+                let reply = match (self.runner)(&p.spec) {
+                    Ok(payload) => Msg::Done {
+                        dispatch: p.dispatch,
+                        key: p.key,
+                        payload,
+                    },
+                    Err(message) => Msg::Failed {
+                        dispatch: p.dispatch,
+                        message,
+                    },
+                };
+                return Ok(Some(reply));
+            }
+            if self.heartbeat_every > 0 && p.waited % self.heartbeat_every == 0 {
+                return Ok(Some(Msg::Heartbeat {
+                    dispatch: p.dispatch,
+                }));
+            }
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos
+// ---------------------------------------------------------------------------
+
+/// Seeded fault schedule for a [`FaultyTransport`]: what fraction of
+/// traffic is dropped, delayed, or truncated, and when the peer crashes.
+/// Mirrors the simulator's `FaultPlaneConfig` design — rates plus
+/// scheduled events, replayable bit-for-bit from the seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetFaultConfig {
+    /// Seed of the per-transport deterministic draw stream.
+    pub seed: u64,
+    /// Probability a coordinator→worker frame vanishes in flight.
+    pub send_drop_rate: f64,
+    /// Probability a worker→coordinator message vanishes in flight.
+    pub recv_drop_rate: f64,
+    /// Probability a worker→coordinator message is held back.
+    pub recv_delay_rate: f64,
+    /// Polls a delayed message is held for.
+    pub recv_delay_polls: u64,
+    /// Probability a worker→coordinator message arrives truncated
+    /// (surfaces as [`RemoteError::Truncated`]; the stream is then dead).
+    pub truncate_rate: f64,
+    /// The worker accepts this many [`Msg::Job`]s, then dies *while
+    /// computing the next one*: the fatal `Job` send still succeeds (the
+    /// bytes land in the peer's socket buffer), but every poll after it
+    /// reports [`RemoteError::Disconnected`] — the worker-crash-mid-job
+    /// scenario.
+    pub crash_after_jobs: Option<u64>,
+}
+
+impl NetFaultConfig {
+    /// A quiescent schedule (no faults) under `seed` — the base for
+    /// builder-style chaining.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        NetFaultConfig {
+            seed,
+            send_drop_rate: 0.0,
+            recv_drop_rate: 0.0,
+            recv_delay_rate: 0.0,
+            recv_delay_polls: 0,
+            truncate_rate: 0.0,
+            crash_after_jobs: None,
+        }
+    }
+
+    /// Sets the coordinator→worker drop rate.
+    #[must_use]
+    pub fn with_send_drop(mut self, rate: f64) -> Self {
+        self.send_drop_rate = rate;
+        self
+    }
+
+    /// Sets the worker→coordinator drop rate.
+    #[must_use]
+    pub fn with_recv_drop(mut self, rate: f64) -> Self {
+        self.recv_drop_rate = rate;
+        self
+    }
+
+    /// Sets the worker→coordinator delay rate and hold time.
+    #[must_use]
+    pub fn with_recv_delay(mut self, rate: f64, polls: u64) -> Self {
+        self.recv_delay_rate = rate;
+        self.recv_delay_polls = polls;
+        self
+    }
+
+    /// Sets the truncation rate.
+    #[must_use]
+    pub fn with_truncate(mut self, rate: f64) -> Self {
+        self.truncate_rate = rate;
+        self
+    }
+
+    /// Schedules the worker crash after `jobs` accepted jobs.
+    #[must_use]
+    pub fn with_crash_after_jobs(mut self, jobs: u64) -> Self {
+        self.crash_after_jobs = Some(jobs);
+        self
+    }
+}
+
+/// Deterministic draw stream: a splitmix64 counter keyed by the schedule
+/// seed. Self-contained so `maple-fleet` keeps its zero-dependency
+/// position below `maple-sim`.
+#[derive(Debug, Clone)]
+struct NetRng {
+    seed: u64,
+    ctr: u64,
+}
+
+impl NetRng {
+    fn new(seed: u64) -> Self {
+        NetRng { seed, ctr: 0 }
+    }
+
+    fn chance(&mut self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        self.ctr += 1;
+        let draw = splitmix64(self.seed ^ self.ctr.wrapping_mul(0xA3EC_6476_5935_9ACD));
+        // 53-bit uniform in [0, 1).
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        unit < rate
+    }
+}
+
+/// Chaos wrapper over any [`Transport`], applying a seeded
+/// [`NetFaultConfig`] schedule.
+pub struct FaultyTransport {
+    inner: Box<dyn Transport + Send>,
+    cfg: NetFaultConfig,
+    rng: NetRng,
+    jobs_sent: u64,
+    crashed: bool,
+    polls: u64,
+    /// Delayed inbound messages: `(release_at_poll, msg)`, release order
+    /// is arrival order (stable).
+    held: VecDeque<(u64, Msg)>,
+}
+
+impl fmt::Debug for FaultyTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyTransport")
+            .field("cfg", &self.cfg)
+            .field("jobs_sent", &self.jobs_sent)
+            .field("crashed", &self.crashed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` under the given schedule.
+    #[must_use]
+    pub fn new(inner: impl Transport + Send + 'static, cfg: NetFaultConfig) -> Self {
+        let rng = NetRng::new(cfg.seed);
+        FaultyTransport {
+            inner: Box::new(inner),
+            cfg,
+            rng,
+            jobs_sent: 0,
+            crashed: false,
+            polls: 0,
+            held: VecDeque::new(),
+        }
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn send(&mut self, msg: &Msg) -> Result<(), RemoteError> {
+        if self.crashed {
+            return Err(RemoteError::Disconnected);
+        }
+        if let Msg::Job { .. } = msg {
+            self.jobs_sent += 1;
+            if let Some(limit) = self.cfg.crash_after_jobs {
+                if self.jobs_sent > limit {
+                    // The worker dies mid-job: the send itself succeeds
+                    // (kernel buffers accept the bytes), but no reply
+                    // will ever come and reads start failing.
+                    self.crashed = true;
+                    return Ok(());
+                }
+            }
+        }
+        if self.rng.chance(self.cfg.send_drop_rate) {
+            return Ok(()); // vanished in flight
+        }
+        self.inner.send(msg)
+    }
+
+    fn poll(&mut self) -> Result<Option<Msg>, RemoteError> {
+        if self.crashed {
+            return Err(RemoteError::Disconnected);
+        }
+        self.polls += 1;
+        if let Some(&(release_at, _)) = self.held.front() {
+            if self.polls >= release_at {
+                let (_, msg) = self.held.pop_front().expect("held front present");
+                return Ok(Some(msg));
+            }
+        }
+        match self.inner.poll()? {
+            None => Ok(None),
+            Some(msg) => {
+                if self.rng.chance(self.cfg.recv_drop_rate) {
+                    return Ok(None); // vanished in flight
+                }
+                if self.rng.chance(self.cfg.truncate_rate) {
+                    return Err(RemoteError::Truncated { wanted: 8, got: 3 });
+                }
+                if self.rng.chance(self.cfg.recv_delay_rate) {
+                    self.held
+                        .push_back((self.polls + self.cfg.recv_delay_polls, msg));
+                    return Ok(None);
+                }
+                Ok(Some(msg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Msg> {
+        vec![
+            Msg::Hello {
+                version: PROTOCOL_VERSION,
+                worker: 3,
+            },
+            Msg::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            Msg::Job {
+                dispatch: 42,
+                key: 0xDEAD_BEEF,
+                spec: "spmv\tdoall\t2".into(),
+            },
+            Msg::Heartbeat { dispatch: 42 },
+            Msg::Done {
+                dispatch: 42,
+                key: 0xDEAD_BEEF,
+                payload: "cycles=123\tloads=5".into(),
+            },
+            Msg::Failed {
+                dispatch: 7,
+                message: "verification failed".into(),
+            },
+            Msg::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            assert_eq!(Msg::decode(&bytes).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_a_typed_error() {
+        for msg in all_messages() {
+            let bytes = msg.encode();
+            for cut in 1..bytes.len() {
+                match Msg::decode(&bytes[..cut]) {
+                    Err(RemoteError::Truncated { .. } | RemoteError::Protocol(_)) => {}
+                    other => panic!("cut {cut} of {msg:?}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Msg::Bye.encode();
+        bytes.push(0);
+        assert!(matches!(
+            Msg::decode(&bytes),
+            Err(RemoteError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frames_reassemble_across_arbitrary_segmentation() {
+        let msgs = all_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&frame_bytes(m));
+        }
+        // Feed the stream 3 bytes at a time; every frame must pop out
+        // exactly once, in order.
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        for chunk in stream.chunks(3) {
+            buf.extend_from_slice(chunk);
+            while let Some(m) = take_frame(&mut buf).unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_and_oversized_length_are_protocol_errors() {
+        let mut buf = vec![0xFFu8; 16];
+        assert!(matches!(
+            take_frame(&mut buf),
+            Err(RemoteError::Protocol(_))
+        ));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        assert!(matches!(
+            take_frame(&mut buf),
+            Err(RemoteError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn loopback_worker_answers_jobs() {
+        let mut w = LoopbackWorker::new(|spec| Ok(format!("ran:{spec}")));
+        w.send(&Msg::Hello {
+            version: PROTOCOL_VERSION,
+            worker: 0,
+        })
+        .unwrap();
+        assert_eq!(
+            w.poll().unwrap(),
+            Some(Msg::Welcome {
+                version: PROTOCOL_VERSION
+            })
+        );
+        w.send(&Msg::Job {
+            dispatch: 9,
+            key: 5,
+            spec: "abc".into(),
+        })
+        .unwrap();
+        assert_eq!(
+            w.poll().unwrap(),
+            Some(Msg::Done {
+                dispatch: 9,
+                key: 5,
+                payload: "ran:abc".into()
+            })
+        );
+        assert_eq!(w.poll().unwrap(), None);
+    }
+
+    #[test]
+    fn loopback_worker_heartbeats_while_computing() {
+        let mut w = LoopbackWorker::new(|_| Ok("done".into()))
+            .with_work_polls(5)
+            .with_heartbeat_every(2);
+        w.send(&Msg::Job {
+            dispatch: 1,
+            key: 0,
+            spec: String::new(),
+        })
+        .unwrap();
+        let mut beats = 0;
+        loop {
+            match w.poll().unwrap() {
+                Some(Msg::Heartbeat { dispatch: 1 }) => beats += 1,
+                Some(Msg::Done { .. }) => break,
+                Some(other) => panic!("unexpected {other:?}"),
+                None => {}
+            }
+        }
+        assert_eq!(beats, 2, "heartbeats at waited=2 and waited=4");
+    }
+
+    #[test]
+    fn faulty_transport_crash_is_permanent_and_mid_job() {
+        let inner = LoopbackWorker::new(|_| Ok("ok".into()));
+        let mut t = FaultyTransport::new(inner, NetFaultConfig::new(1).with_crash_after_jobs(1));
+        t.send(&Msg::Job {
+            dispatch: 1,
+            key: 1,
+            spec: String::new(),
+        })
+        .unwrap();
+        assert!(matches!(t.poll(), Ok(Some(Msg::Done { dispatch: 1, .. }))));
+        // Second job: the send "succeeds" but the worker is now dead.
+        t.send(&Msg::Job {
+            dispatch: 2,
+            key: 2,
+            spec: String::new(),
+        })
+        .unwrap();
+        assert_eq!(t.poll(), Err(RemoteError::Disconnected));
+        assert_eq!(t.poll(), Err(RemoteError::Disconnected));
+        assert_eq!(
+            t.send(&Msg::Bye),
+            Err(RemoteError::Disconnected),
+            "sends fail after the crash surfaces"
+        );
+    }
+
+    #[test]
+    fn faulty_schedules_replay_bit_for_bit() {
+        let run = |seed: u64| {
+            let inner = LoopbackWorker::new(|s| Ok(s.to_owned()));
+            let mut t = FaultyTransport::new(
+                inner,
+                NetFaultConfig::new(seed)
+                    .with_recv_drop(0.3)
+                    .with_recv_delay(0.3, 2),
+            );
+            let mut log = Vec::new();
+            for i in 0..32u64 {
+                t.send(&Msg::Job {
+                    dispatch: i,
+                    key: i,
+                    spec: format!("{i}"),
+                })
+                .unwrap();
+                for _ in 0..4 {
+                    log.push(format!("{:?}", t.poll()));
+                }
+            }
+            log
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+    }
+
+    #[test]
+    fn tcp_transport_round_trips_over_a_real_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            // Blocking-ish poll loop on the server side.
+            loop {
+                match t.poll() {
+                    Ok(Some(Msg::Job { dispatch, key, spec })) => {
+                        t.send(&Msg::Done {
+                            dispatch,
+                            key,
+                            payload: format!("echo:{spec}"),
+                        })
+                        .unwrap();
+                    }
+                    Ok(Some(Msg::Bye)) => return,
+                    Ok(Some(other)) => panic!("unexpected {other:?}"),
+                    Ok(None) => std::thread::sleep(Duration::from_millis(1)),
+                    Err(RemoteError::Disconnected) => return,
+                    Err(e) => panic!("server: {e}"),
+                }
+            }
+        });
+        let mut t = TcpTransport::dial(&addr.to_string(), 3, Duration::from_millis(10)).unwrap();
+        for i in 0..5u64 {
+            t.send(&Msg::Job {
+                dispatch: i,
+                key: i * 2,
+                spec: format!("job{i}"),
+            })
+            .unwrap();
+            let reply = loop {
+                match t.poll().unwrap() {
+                    Some(m) => break m,
+                    None => std::thread::sleep(Duration::from_millis(1)),
+                }
+            };
+            assert_eq!(
+                reply,
+                Msg::Done {
+                    dispatch: i,
+                    key: i * 2,
+                    payload: format!("echo:job{i}")
+                }
+            );
+        }
+        t.send(&Msg::Bye).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn dial_failure_is_a_typed_connect_error() {
+        // Bind-then-drop gives a port that is very likely closed.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        match TcpTransport::dial(&addr, 1, Duration::from_millis(1)) {
+            Err(RemoteError::Connect(m)) => assert!(m.contains(&addr), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -91,20 +91,47 @@ impl Default for FleetConfig {
     }
 }
 
-/// A job that exhausted its attempts by panicking.
+/// How a failed job failed — the pool's own panic isolation, a runner
+/// that returned a typed failure, or the remote layer's error taxonomy
+/// (see [`crate::net::RemoteError`]) threaded through by the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The job panicked on every granted attempt.
+    Panic,
+    /// The job ran to completion but reported failure (worker runner or
+    /// local fallback returned `Err`).
+    Exec,
+    /// The distributed layer failed the job with a typed network error.
+    Remote(crate::net::RemoteError),
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Panic => f.write_str("panicked"),
+            FailureKind::Exec => f.write_str("failed"),
+            FailureKind::Remote(e) => write!(f, "failed remotely ({e})"),
+        }
+    }
+}
+
+/// A job that exhausted its attempts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JobError {
-    /// The final panic payload, rendered.
+    /// The final failure payload, rendered.
     pub message: String,
     /// Executions performed (1 + retries granted).
     pub attempts: u32,
+    /// What kind of failure ended the attempts.
+    pub kind: FailureKind,
 }
 
 impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "job panicked after {} attempt{}: {}",
+            "job {} after {} attempt{}: {}",
+            self.kind,
             self.attempts,
             if self.attempts == 1 { "" } else { "s" },
             self.message
@@ -332,6 +359,7 @@ where
                         result: Err(JobError {
                             message: panic_message(&*payload),
                             attempts,
+                            kind: FailureKind::Panic,
                         }),
                         stats: stats(attempts),
                     };
@@ -342,7 +370,7 @@ where
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -467,6 +495,32 @@ mod tests {
         assert_eq!(batch.outcomes[1].stats.attempts, 2);
         assert_eq!(batch.stats.retries, 1);
         assert_eq!(batch.stats.panics, 1);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_the_full_budget() {
+        // A job that panics on every attempt must burn exactly
+        // 1 + max_retries executions and surface that count in the
+        // typed error — the accounting the FleetLine report trusts.
+        let calls = AtomicU32::new(0);
+        let cfg = FleetConfig::from_env().with_workers(2).with_max_retries(3);
+        let jobs: Vec<Box<dyn Fn() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                panic!("always broken");
+            }),
+        ];
+        let batch = run_batch(&cfg, jobs);
+        assert_eq!(*batch.outcomes[0].result.as_ref().unwrap(), 1);
+        let err = batch.outcomes[1].result.as_ref().expect_err("job 1 fails");
+        assert_eq!(err.attempts, 4, "1 initial + 3 retries");
+        assert_eq!(err.kind, FailureKind::Panic);
+        assert!(err.message.contains("always broken"), "{err}");
+        assert_eq!(calls.load(Ordering::SeqCst), 4, "executed exactly 4 times");
+        assert_eq!(batch.stats.retries, 3);
+        assert_eq!(batch.stats.panics, 4);
+        assert_eq!(batch.outcomes[1].stats.attempts, 4);
     }
 
     #[test]

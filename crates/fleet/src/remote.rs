@@ -1,0 +1,1142 @@
+//! Fault-tolerant coordinator/worker batch execution.
+//!
+//! [`run_remote`] drives a batch of [`RemoteJob`]s over a set of
+//! [`Transport`]s with a full robustness layer:
+//!
+//! - **Leases.** Every dispatched job holds a lease measured in
+//!   coordinator polls. A worker proves liveness by replying or by
+//!   sending [`Msg::Heartbeat`]; a lease that runs out of quiet polls
+//!   expires and the job is *reassigned* to another worker.
+//! - **At-least-once dispatch, exactly-once results.** Reassignment means
+//!   a job can run twice (the expired worker may still finish). Results
+//!   are keyed by dispatch id into per-job slots and by content
+//!   [`crate::digest::Digest`] into the shared [`ResultCache`], so a
+//!   late duplicate is counted ([`RemoteStats::stale_results`]) and
+//!   dropped — the collected batch holds exactly one result per job, and
+//!   because jobs are pure functions of their digest-keyed spec, *which*
+//!   execution produced the payload is unobservable.
+//! - **Backoff with strikes.** A worker that fails a send, breaks its
+//!   connection mid-handshake, or expires a lease earns a strike and
+//!   sits out an exponentially growing number of polls
+//!   (`backoff_base << strikes`, no jitter — the schedule is a pure
+//!   function of the history). Past
+//!   [`RemoteConfig::worker_strikes`] the worker is declared dead.
+//! - **Degradation ladder.** Jobs that exhaust their remote attempts —
+//!   and the whole remainder of the batch once every worker is dead —
+//!   fall back to the local [`crate::pool`]. The ladder mirrors the
+//!   simulator's `maple-dec → sw-dec → do-all` recovery ladder:
+//!   remote → degraded → local, reported per batch as [`Rung`].
+//!
+//! The coordinator is single-threaded and polls workers in index order,
+//! so over deterministic transports (loopback, seeded
+//! [`crate::net::FaultyTransport`]) an entire batch — counters included —
+//! replays bit-for-bit. Wall-clock enters only through the optional
+//! [`RemoteConfig::poll_sleep`], which trades CPU for latency on real
+//! sockets and is irrelevant to the result surface.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use crate::cache::ResultCache;
+use crate::net::{Msg, RemoteError, Transport, PROTOCOL_VERSION};
+use crate::pool::{self, FailureKind, FleetConfig, JobError};
+
+/// One unit of remote work: an opaque spec string the worker's runner
+/// understands, plus the content key its result is cached under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteJob {
+    /// Content digest of the full case descriptor (cache key).
+    pub key: u64,
+    /// Opaque job descriptor (the bench layer uses a TSV spec).
+    pub spec: String,
+}
+
+/// Coordinator tuning. All deadlines are measured in coordinator polls,
+/// not wall-clock, so tests replay exactly.
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// Quiet polls (no reply, no heartbeat) before a dispatched job's
+    /// lease expires and the job is reassigned.
+    pub lease_polls: u64,
+    /// Remote dispatch attempts granted per job before it stops being
+    /// requeued and waits for the local fallback rung.
+    pub job_attempts: u32,
+    /// Strikes (send failures, lease expiries, handshake timeouts) a
+    /// worker survives before being declared dead.
+    pub worker_strikes: u32,
+    /// Base backoff, in polls: a worker with `s` strikes sits out
+    /// `backoff_base << s` polls. No jitter by design — retry schedules
+    /// replay bit-for-bit.
+    pub backoff_base: u64,
+    /// Optional hard poll budget; exceeding it aborts the batch with
+    /// [`RemoteError::Aborted`]. Completed results are already in the
+    /// cache, which is how a restarted coordinator resumes cheaply.
+    pub poll_budget: Option<u64>,
+    /// Optional sleep between poll sweeps (for real sockets; `None` for
+    /// loopback tests and maximum determinism).
+    pub poll_sleep: Option<Duration>,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            lease_polls: 64,
+            job_attempts: 3,
+            worker_strikes: 2,
+            backoff_base: 4,
+            poll_budget: None,
+            poll_sleep: None,
+        }
+    }
+}
+
+impl RemoteConfig {
+    /// Sets the lease length in polls.
+    #[must_use]
+    pub fn with_lease_polls(mut self, polls: u64) -> Self {
+        self.lease_polls = polls;
+        self
+    }
+
+    /// Sets the per-job remote attempt budget.
+    #[must_use]
+    pub fn with_job_attempts(mut self, attempts: u32) -> Self {
+        self.job_attempts = attempts;
+        self
+    }
+
+    /// Sets the per-worker strike budget.
+    #[must_use]
+    pub fn with_worker_strikes(mut self, strikes: u32) -> Self {
+        self.worker_strikes = strikes;
+        self
+    }
+
+    /// Sets the base backoff in polls.
+    #[must_use]
+    pub fn with_backoff_base(mut self, polls: u64) -> Self {
+        self.backoff_base = polls;
+        self
+    }
+
+    /// Sets the hard poll budget (coordinator-restart test hook).
+    #[must_use]
+    pub fn with_poll_budget(mut self, polls: u64) -> Self {
+        self.poll_budget = Some(polls);
+        self
+    }
+
+    /// Sets the inter-sweep sleep for real-socket runs.
+    #[must_use]
+    pub fn with_poll_sleep(mut self, sleep: Duration) -> Self {
+        self.poll_sleep = Some(sleep);
+        self
+    }
+}
+
+/// Which rung of the degradation ladder the batch finished on. Ordered
+/// by severity: merging two reports keeps the worse rung.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Every computed job ran on a remote worker.
+    Remote,
+    /// Some jobs ran remotely, some fell back to the local pool.
+    Degraded,
+    /// Every computed job ran on the local pool (no usable worker).
+    Local,
+}
+
+impl Rung {
+    /// Short stable label for report lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::Remote => "remote",
+            Rung::Degraded => "degraded",
+            Rung::Local => "local",
+        }
+    }
+}
+
+impl fmt::Display for Rung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Batch-level accounting for one [`run_remote`] call. Over
+/// deterministic transports every field replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Transports the batch started with.
+    pub workers: usize,
+    /// Jobs answered straight from the shared cache.
+    pub cache_hits: usize,
+    /// Jobs computed by a remote worker.
+    pub remote_done: usize,
+    /// Jobs computed by the local fallback pool.
+    pub local_done: usize,
+    /// Times a dispatched job was taken away and requeued (lease expiry,
+    /// worker death, or a typed remote failure with budget left).
+    pub reassignments: u64,
+    /// Leases that expired without a result or heartbeat.
+    pub lease_expiries: u64,
+    /// Workers declared dead (strikes exhausted, connection broken, or
+    /// incompatible version).
+    pub worker_failures: u64,
+    /// Sends that failed and were charged as a strike.
+    pub send_failures: u64,
+    /// Duplicate results from reassigned jobs, received and dropped.
+    pub stale_results: u64,
+    /// Coordinator poll sweeps performed.
+    pub polls: u64,
+    /// Workers still usable when the batch completed.
+    pub live_workers: usize,
+    /// Final rung of the degradation ladder.
+    pub rung: Rung,
+}
+
+/// A completed remote batch: one outcome per job in submission order,
+/// plus the accounting.
+#[derive(Debug)]
+pub struct RemoteBatch {
+    /// Per-job results, submission order. `Err` only when the job failed
+    /// on *every* rung of the ladder.
+    pub outcomes: Vec<Result<String, JobError>>,
+    /// Batch accounting.
+    pub stats: RemoteStats,
+}
+
+/// Per-worker coordinator-side state machine.
+#[derive(Debug)]
+enum WorkerState {
+    /// Needs to (re)send [`Msg::Hello`].
+    Greet,
+    /// Hello sent, waiting for [`Msg::Welcome`]; counts quiet polls.
+    AwaitWelcome { quiet: u64 },
+    /// Handshaken and free.
+    Idle,
+    /// Computing `job` under dispatch id `dispatch`.
+    Busy { job: usize, dispatch: u64, quiet: u64 },
+    /// Sitting out a strike until poll `until`.
+    Backoff { until: u64 },
+    /// Unusable for the rest of the batch.
+    Dead,
+}
+
+struct Worker {
+    transport: Box<dyn Transport>,
+    state: WorkerState,
+    strikes: u32,
+    greeted: bool,
+}
+
+impl Worker {
+    fn live(&self) -> bool {
+        !matches!(self.state, WorkerState::Dead)
+    }
+}
+
+/// Runs `jobs` across `transports` with leases, backoff, reassignment and
+/// local fallback; results come back in submission order. `local` is the
+/// bottom rung of the ladder — it must compute the same pure function of
+/// the spec as the remote runners (the determinism contract: results are
+/// location-independent because the digest key pins all inputs).
+///
+/// # Errors
+///
+/// [`RemoteError::Aborted`] when [`RemoteConfig::poll_budget`] runs out —
+/// the only error surface; every other failure degrades instead. Results
+/// computed before the abort are already in `cache`.
+///
+/// # Panics
+///
+/// Panics only on coordinator-internal bookkeeping violations (a result
+/// slot missing after the drain), never on remote misbehavior.
+pub fn run_remote(
+    transports: Vec<Box<dyn Transport>>,
+    cfg: &RemoteConfig,
+    jobs: &[RemoteJob],
+    cache: Option<&ResultCache>,
+    local: impl Fn(&RemoteJob) -> Result<String, String> + Sync,
+) -> Result<RemoteBatch, RemoteError> {
+    let mut stats = RemoteStats {
+        jobs: jobs.len(),
+        workers: transports.len(),
+        cache_hits: 0,
+        remote_done: 0,
+        local_done: 0,
+        reassignments: 0,
+        lease_expiries: 0,
+        worker_failures: 0,
+        send_failures: 0,
+        stale_results: 0,
+        polls: 0,
+        live_workers: 0,
+        rung: Rung::Remote,
+    };
+    let mut slots: Vec<Option<Result<String, JobError>>> = vec![None; jobs.len()];
+
+    // Rung 0: the shared cache answers everything already computed —
+    // including by a previous coordinator that died mid-batch.
+    if let Some(cache) = cache {
+        for (i, job) in jobs.iter().enumerate() {
+            if let Some(hit) = cache.get(job.key) {
+                slots[i] = Some(Ok(hit));
+                stats.cache_hits += 1;
+            }
+        }
+    }
+
+    let mut workers: Vec<Worker> = transports
+        .into_iter()
+        .map(|transport| Worker {
+            transport,
+            state: WorkerState::Greet,
+            strikes: 0,
+            greeted: false,
+        })
+        .collect();
+    let mut pending: VecDeque<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
+    let mut attempts: Vec<u32> = vec![0; jobs.len()];
+    let mut dispatched: HashMap<u64, usize> = HashMap::new();
+    let mut dispatch_seq: u64 = 0;
+
+    while slots.iter().any(Option::is_none) {
+        if workers.iter().all(|w| !w.live()) {
+            break; // every worker dead: drain the rest locally
+        }
+        let any_busy = workers
+            .iter()
+            .any(|w| matches!(w.state, WorkerState::Busy { .. }));
+        if pending.is_empty() && !any_busy {
+            break; // nothing in flight, nothing dispatchable: local rung
+        }
+        if let Some(budget) = cfg.poll_budget {
+            if stats.polls >= budget {
+                for w in &mut workers {
+                    if w.live() {
+                        let _ = w.transport.send(&Msg::Bye);
+                    }
+                }
+                return Err(RemoteError::Aborted { polls: stats.polls });
+            }
+        }
+
+        for (wi, w) in workers.iter_mut().enumerate() {
+            let state = std::mem::replace(&mut w.state, WorkerState::Dead);
+            let next = match state {
+                WorkerState::Dead => WorkerState::Dead,
+                WorkerState::Greet => {
+                    match w.transport.send(&Msg::Hello {
+                        version: PROTOCOL_VERSION,
+                        worker: wi as u64,
+                    }) {
+                        Ok(()) => WorkerState::AwaitWelcome { quiet: 0 },
+                        Err(_) => {
+                            stats.send_failures += 1;
+                            strike(w, wi, cfg, &mut stats, None)
+                        }
+                    }
+                }
+                WorkerState::AwaitWelcome { quiet } => {
+                    match w.transport.poll() {
+                        Ok(Some(Msg::Welcome { version })) => {
+                            if version == PROTOCOL_VERSION {
+                                w.greeted = true;
+                                WorkerState::Idle
+                            } else {
+                                // Incompatible peer: permanently unusable,
+                                // no point in backoff.
+                                stats.worker_failures += 1;
+                                WorkerState::Dead
+                            }
+                        }
+                        Ok(Some(_)) | Ok(None) => {
+                            let quiet = quiet + 1;
+                            if quiet > cfg.lease_polls {
+                                strike(w, wi, cfg, &mut stats, None)
+                            } else {
+                                WorkerState::AwaitWelcome { quiet }
+                            }
+                        }
+                        Err(_) => {
+                            stats.worker_failures += 1;
+                            WorkerState::Dead
+                        }
+                    }
+                }
+                WorkerState::Backoff { until } => {
+                    if stats.polls >= until {
+                        if w.greeted {
+                            WorkerState::Idle
+                        } else {
+                            WorkerState::Greet
+                        }
+                    } else {
+                        WorkerState::Backoff { until }
+                    }
+                }
+                WorkerState::Idle => {
+                    // Skip queue entries whose slot a stale duplicate
+                    // already filled.
+                    let job = loop {
+                        match pending.pop_front() {
+                            Some(j) if slots[j].is_none() => break Some(j),
+                            Some(_) => {}
+                            None => break None,
+                        }
+                    };
+                    match job {
+                        None => WorkerState::Idle,
+                        Some(j) => {
+                            attempts[j] += 1;
+                            dispatch_seq += 1;
+                            let dispatch = dispatch_seq;
+                            dispatched.insert(dispatch, j);
+                            match w.transport.send(&Msg::Job {
+                                dispatch,
+                                key: jobs[j].key,
+                                spec: jobs[j].spec.clone(),
+                            }) {
+                                Ok(()) => WorkerState::Busy {
+                                    job: j,
+                                    dispatch,
+                                    quiet: 0,
+                                },
+                                Err(_) => {
+                                    // The job never left: not a real
+                                    // attempt, back to the queue front.
+                                    stats.send_failures += 1;
+                                    attempts[j] -= 1;
+                                    pending.push_front(j);
+                                    strike(w, wi, cfg, &mut stats, None)
+                                }
+                            }
+                        }
+                    }
+                }
+                WorkerState::Busy { job, dispatch, quiet } => {
+                    match w.transport.poll() {
+                        Ok(Some(Msg::Done {
+                            dispatch: d,
+                            payload,
+                            ..
+                        })) => {
+                            if let Some(&j) = dispatched.get(&d) {
+                                resolve(
+                                    &mut slots, &mut stats, cache, jobs, j,
+                                    Ok(payload),
+                                    Origin::Remote,
+                                );
+                            }
+                            if d == dispatch {
+                                WorkerState::Idle
+                            } else {
+                                // A stale result from a lease this worker
+                                // expired earlier; it is still computing
+                                // its current assignment.
+                                WorkerState::Busy { job, dispatch, quiet: 0 }
+                            }
+                        }
+                        Ok(Some(Msg::Failed {
+                            dispatch: d,
+                            message,
+                        })) => {
+                            if let Some(&j) = dispatched.get(&d) {
+                                if slots[j].is_none() {
+                                    if attempts[j] < cfg.job_attempts {
+                                        // Budget left: try another worker.
+                                        stats.reassignments += 1;
+                                        pending.push_back(j);
+                                    } else {
+                                        // Remote budget exhausted: leave
+                                        // the slot open for the local
+                                        // rung; remember the message in
+                                        // case local also fails.
+                                        // (Nothing to record here — the
+                                        // local rung produces the final
+                                        // error if it fails too.)
+                                    }
+                                }
+                            }
+                            let _ = message;
+                            if d == dispatch {
+                                WorkerState::Idle
+                            } else {
+                                WorkerState::Busy { job, dispatch, quiet: 0 }
+                            }
+                        }
+                        Ok(Some(Msg::Heartbeat { dispatch: d })) => {
+                            let quiet = if d == dispatch { 0 } else { quiet + 1 };
+                            WorkerState::Busy { job, dispatch, quiet }
+                        }
+                        Ok(Some(_)) => {
+                            // Protocol noise (e.g. a duplicate Welcome
+                            // after a re-greet): ignored, lease advances.
+                            WorkerState::Busy { job, dispatch, quiet: quiet + 1 }
+                        }
+                        Ok(None) => {
+                            let quiet = quiet + 1;
+                            if quiet > cfg.lease_polls {
+                                stats.lease_expiries += 1;
+                                requeue(
+                                    &slots, &mut pending, &attempts, cfg, &mut stats, job,
+                                );
+                                strike(w, wi, cfg, &mut stats, None)
+                            } else {
+                                WorkerState::Busy { job, dispatch, quiet }
+                            }
+                        }
+                        Err(_) => {
+                            // Connection gone with a job in flight: the
+                            // worker-crash-mid-job path.
+                            stats.worker_failures += 1;
+                            requeue(&slots, &mut pending, &attempts, cfg, &mut stats, job);
+                            WorkerState::Dead
+                        }
+                    }
+                }
+            };
+            w.state = next;
+        }
+
+        stats.polls += 1;
+        if let Some(sleep) = cfg.poll_sleep {
+            std::thread::sleep(sleep);
+        }
+    }
+
+    // Bottom rung: whatever is still unresolved runs on the local pool.
+    let remaining: Vec<usize> = (0..jobs.len()).filter(|&i| slots[i].is_none()).collect();
+    if !remaining.is_empty() {
+        let local = &local;
+        let batch = pool::run_batch(
+            &FleetConfig::from_env(),
+            remaining
+                .iter()
+                .map(|&i| {
+                    let job = &jobs[i];
+                    move || local(job)
+                })
+                .collect::<Vec<_>>(),
+        );
+        for (&i, outcome) in remaining.iter().zip(batch.outcomes) {
+            let value = match outcome.result {
+                Ok(Ok(payload)) => Ok(payload),
+                Ok(Err(message)) => Err(JobError {
+                    message,
+                    attempts: attempts[i] + outcome.stats.attempts,
+                    kind: FailureKind::Exec,
+                }),
+                Err(mut e) => {
+                    e.attempts += attempts[i];
+                    Err(e)
+                }
+            };
+            resolve(&mut slots, &mut stats, cache, jobs, i, value, Origin::Local);
+        }
+    }
+
+    for w in &mut workers {
+        if w.live() {
+            let _ = w.transport.send(&Msg::Bye);
+        }
+    }
+    stats.live_workers = workers.iter().filter(|w| w.live()).count();
+    stats.rung = match (stats.remote_done, stats.local_done) {
+        (_, 0) => Rung::Remote,
+        (0, _) => Rung::Local,
+        _ => Rung::Degraded,
+    };
+
+    let outcomes = slots
+        .into_iter()
+        .map(|s| s.expect("every job resolved by the local rung"))
+        .collect();
+    Ok(RemoteBatch { outcomes, stats })
+}
+
+/// Where a resolved result came from (for accounting).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    Remote,
+    Local,
+}
+
+/// Fills job `j`'s slot; a duplicate (reassigned job finishing twice) is
+/// counted and dropped. Successful payloads are published to the shared
+/// cache so other coordinators — and a restarted one — can reuse them.
+fn resolve(
+    slots: &mut [Option<Result<String, JobError>>],
+    stats: &mut RemoteStats,
+    cache: Option<&ResultCache>,
+    jobs: &[RemoteJob],
+    j: usize,
+    value: Result<String, JobError>,
+    origin: Origin,
+) {
+    if slots[j].is_some() {
+        stats.stale_results += 1;
+        return;
+    }
+    if let (Some(cache), Ok(payload)) = (cache, &value) {
+        if let Err(e) = cache.put(jobs[j].key, payload) {
+            // A broken cache degrades sharing, not the batch.
+            eprintln!(
+                "[maple-fleet] cache write failed for key {:016x}: {e}",
+                jobs[j].key
+            );
+        }
+    }
+    if value.is_ok() {
+        match origin {
+            Origin::Remote => stats.remote_done += 1,
+            Origin::Local => stats.local_done += 1,
+        }
+    } else if origin == Origin::Local {
+        // A job that failed even the local rung still "consumed" local
+        // compute; count it so the rung reflects the fallback.
+        stats.local_done += 1;
+    }
+    slots[j] = Some(value);
+}
+
+/// Puts a dispatched job back in the queue after its worker failed it
+/// (unless a stale duplicate already resolved it, or its remote budget
+/// is spent — then the local rung picks it up).
+fn requeue(
+    slots: &[Option<Result<String, JobError>>],
+    pending: &mut VecDeque<usize>,
+    attempts: &[u32],
+    cfg: &RemoteConfig,
+    stats: &mut RemoteStats,
+    job: usize,
+) {
+    if slots[job].is_none() {
+        stats.reassignments += 1;
+        if attempts[job] < cfg.job_attempts {
+            pending.push_back(job);
+        }
+    }
+}
+
+/// Charges worker `wi` a strike: exponential backoff while budget lasts,
+/// death after.
+fn strike(
+    worker: &mut Worker,
+    _wi: usize,
+    cfg: &RemoteConfig,
+    stats: &mut RemoteStats,
+    _detail: Option<&RemoteError>,
+) -> WorkerState {
+    worker.strikes += 1;
+    if worker.strikes > cfg.worker_strikes {
+        stats.worker_failures += 1;
+        WorkerState::Dead
+    } else {
+        let shift = worker.strikes.min(16);
+        WorkerState::Backoff {
+            until: stats.polls + (cfg.backoff_base << shift),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Serves one coordinator session on `transport`: handshake, then a
+/// job/reply loop until [`Msg::Bye`] or disconnect. `runner` computes
+/// each spec; while it runs (on a scoped thread), the serve loop sends
+/// [`Msg::Heartbeat`] every `heartbeat` so long jobs outlive their lease.
+/// Pass a zero `heartbeat` to run jobs inline with no heartbeats (useful
+/// for tests of the expiry path).
+///
+/// Returns the number of jobs served.
+///
+/// # Errors
+///
+/// Typed [`RemoteError`]s for handshake violations; a plain disconnect
+/// after the handshake is a normal end of session, not an error.
+pub fn serve_connection<F>(
+    transport: &mut dyn Transport,
+    heartbeat: Duration,
+    runner: F,
+) -> Result<u64, RemoteError>
+where
+    F: Fn(&str) -> Result<String, String> + Sync,
+{
+    let idle = Duration::from_millis(1);
+    // Handshake: wait for Hello, answer Welcome.
+    loop {
+        match transport.poll()? {
+            Some(Msg::Hello { version, .. }) => {
+                transport.send(&Msg::Welcome {
+                    version: PROTOCOL_VERSION,
+                })?;
+                if version != PROTOCOL_VERSION {
+                    return Err(RemoteError::VersionMismatch {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                break;
+            }
+            Some(other) => {
+                return Err(RemoteError::Protocol(format!(
+                    "expected Hello, got {other:?}"
+                )))
+            }
+            None => std::thread::sleep(idle),
+        }
+    }
+
+    let mut served = 0u64;
+    loop {
+        match transport.poll() {
+            Ok(Some(Msg::Job { dispatch, key, spec })) => {
+                let result = run_with_heartbeats(transport, heartbeat, dispatch, &spec, &runner)?;
+                match result {
+                    Ok(payload) => transport.send(&Msg::Done {
+                        dispatch,
+                        key,
+                        payload,
+                    })?,
+                    Err(message) => transport.send(&Msg::Failed { dispatch, message })?,
+                }
+                served += 1;
+            }
+            Ok(Some(Msg::Bye)) | Err(RemoteError::Disconnected) => return Ok(served),
+            Ok(Some(Msg::Hello { .. })) => {
+                // The coordinator re-greeted (its first Hello or our
+                // Welcome was lost); answer again.
+                transport.send(&Msg::Welcome {
+                    version: PROTOCOL_VERSION,
+                })?;
+            }
+            Ok(Some(other)) => {
+                return Err(RemoteError::Protocol(format!(
+                    "worker received {other:?}"
+                )))
+            }
+            Ok(None) => std::thread::sleep(idle),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Runs one job while keeping its lease alive. With a zero heartbeat the
+/// runner executes inline; otherwise it runs on a scoped thread and the
+/// calling thread emits heartbeats until the result lands.
+fn run_with_heartbeats<F>(
+    transport: &mut dyn Transport,
+    heartbeat: Duration,
+    dispatch: u64,
+    spec: &str,
+    runner: &F,
+) -> Result<Result<String, String>, RemoteError>
+where
+    F: Fn(&str) -> Result<String, String> + Sync,
+{
+    if heartbeat.is_zero() {
+        return Ok(runner(spec));
+    }
+    std::thread::scope(|s| {
+        let (tx, rx) = mpsc::channel();
+        s.spawn(move || {
+            let _ = tx.send(runner(spec));
+        });
+        loop {
+            match rx.recv_timeout(heartbeat) {
+                Ok(result) => return Ok(result),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    transport.send(&Msg::Heartbeat { dispatch })?;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Ok(Err("worker runner thread died".to_owned()))
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{FaultyTransport, LoopbackWorker, NetFaultConfig, TcpTransport};
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    fn jobs(n: usize) -> Vec<RemoteJob> {
+        (0..n)
+            .map(|i| RemoteJob {
+                key: 0x9000 + i as u64,
+                spec: format!("job-{i}"),
+            })
+            .collect()
+    }
+
+    fn answer(spec: &str) -> String {
+        format!("answer:{spec}")
+    }
+
+    fn loopback_fleet(n: usize) -> Vec<Box<dyn Transport>> {
+        (0..n)
+            .map(|_| Box::new(LoopbackWorker::new(|s| Ok(answer(s)))) as Box<dyn Transport>)
+            .collect()
+    }
+
+    fn expect_all_ok(batch: &RemoteBatch, n: usize) {
+        assert_eq!(batch.outcomes.len(), n);
+        for (i, o) in batch.outcomes.iter().enumerate() {
+            assert_eq!(
+                o.as_deref().expect("job succeeds"),
+                answer(&format!("job-{i}")),
+                "job {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn loopback_batch_runs_fully_remote() {
+        let batch = run_remote(
+            loopback_fleet(1),
+            &RemoteConfig::default(),
+            &jobs(6),
+            None,
+            |_| panic!("local rung must not run"),
+        )
+        .unwrap();
+        expect_all_ok(&batch, 6);
+        assert_eq!(batch.stats.remote_done, 6);
+        assert_eq!(batch.stats.local_done, 0);
+        assert_eq!(batch.stats.rung, Rung::Remote);
+        assert_eq!(batch.stats.live_workers, 1);
+    }
+
+    #[test]
+    fn outcomes_and_stats_are_identical_at_any_worker_count() {
+        let run = |workers: usize| {
+            let batch = run_remote(
+                loopback_fleet(workers),
+                &RemoteConfig::default(),
+                &jobs(11),
+                None,
+                |_| panic!("local rung must not run"),
+            )
+            .unwrap();
+            batch.outcomes
+        };
+        let reference = run(1);
+        for workers in [2, 3, 4, 8] {
+            assert_eq!(run(workers), reference, "workers={workers}");
+        }
+        // And replay determinism, counters included.
+        let again = |workers| {
+            run_remote(
+                loopback_fleet(workers),
+                &RemoteConfig::default(),
+                &jobs(11),
+                None,
+                |_| panic!(),
+            )
+            .unwrap()
+            .stats
+        };
+        assert_eq!(again(3), again(3));
+    }
+
+    #[test]
+    fn no_workers_at_all_degrades_to_local() {
+        let batch = run_remote(
+            Vec::new(),
+            &RemoteConfig::default(),
+            &jobs(4),
+            None,
+            |job| Ok(answer(&job.spec)),
+        )
+        .unwrap();
+        expect_all_ok(&batch, 4);
+        assert_eq!(batch.stats.rung, Rung::Local);
+        assert_eq!(batch.stats.local_done, 4);
+    }
+
+    #[test]
+    fn cache_pools_results_across_coordinators() {
+        let dir = std::env::temp_dir().join(format!(
+            "maple-fleet-remote-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let js = jobs(5);
+
+        let first = run_remote(
+            loopback_fleet(2),
+            &RemoteConfig::default(),
+            &js,
+            Some(&cache),
+            |_| panic!("local rung must not run"),
+        )
+        .unwrap();
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(first.stats.remote_done, 5);
+
+        // Second coordinator, same cache: answered without any dispatch.
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let counting: Vec<Box<dyn Transport>> = vec![Box::new(LoopbackWorker::new(move |s| {
+            c.fetch_add(1, Ordering::SeqCst);
+            Ok(answer(s))
+        }))];
+        let second = run_remote(
+            counting,
+            &RemoteConfig::default(),
+            &js,
+            Some(&cache),
+            |_| panic!("local rung must not run"),
+        )
+        .unwrap();
+        expect_all_ok(&second, 5);
+        assert_eq!(second.stats.cache_hits, 5);
+        assert_eq!(second.stats.remote_done, 0);
+        assert_eq!(calls.load(Ordering::SeqCst), 0, "no job reached a worker");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_expiry_reassigns_to_a_healthy_worker() {
+        // Worker 0 is silent far past the lease; worker 1 is instant.
+        let slow = LoopbackWorker::new(|s| Ok(answer(s))).with_work_polls(10_000);
+        let fast = LoopbackWorker::new(|s| Ok(answer(s)));
+        let cfg = RemoteConfig::default().with_lease_polls(8);
+        let batch = run_remote(
+            vec![Box::new(slow), Box::new(fast)],
+            &cfg,
+            &jobs(4),
+            None,
+            |_| panic!("local rung must not run"),
+        )
+        .unwrap();
+        expect_all_ok(&batch, 4);
+        assert!(batch.stats.lease_expiries >= 1, "{:?}", batch.stats);
+        assert!(batch.stats.reassignments >= 1, "{:?}", batch.stats);
+        assert_eq!(batch.stats.rung, Rung::Remote);
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_worker_alive() {
+        // Work takes 20x the lease, but heartbeats arrive well inside it.
+        let slow = LoopbackWorker::new(|s| Ok(answer(s)))
+            .with_work_polls(160)
+            .with_heartbeat_every(4);
+        let cfg = RemoteConfig::default().with_lease_polls(8);
+        let batch = run_remote(vec![Box::new(slow)], &cfg, &jobs(2), None, |_| {
+            panic!("local rung must not run")
+        })
+        .unwrap();
+        expect_all_ok(&batch, 2);
+        assert_eq!(batch.stats.lease_expiries, 0);
+        assert_eq!(batch.stats.reassignments, 0);
+        assert_eq!(batch.stats.rung, Rung::Remote);
+    }
+
+    #[test]
+    fn worker_crash_mid_job_reassigns_and_completes() {
+        let crash = FaultyTransport::new(
+            LoopbackWorker::new(|s| Ok(answer(s))),
+            NetFaultConfig::new(3).with_crash_after_jobs(1),
+        );
+        let healthy = LoopbackWorker::new(|s| Ok(answer(s)));
+        let batch = run_remote(
+            vec![Box::new(crash), Box::new(healthy)],
+            &RemoteConfig::default(),
+            &jobs(6),
+            None,
+            |_| panic!("local rung must not run"),
+        )
+        .unwrap();
+        expect_all_ok(&batch, 6);
+        assert!(batch.stats.worker_failures >= 1, "{:?}", batch.stats);
+        assert!(batch.stats.reassignments >= 1, "{:?}", batch.stats);
+        assert_eq!(batch.stats.rung, Rung::Remote);
+        assert_eq!(batch.stats.live_workers, 1);
+    }
+
+    #[test]
+    fn losing_every_worker_degrades_to_local() {
+        let crash = FaultyTransport::new(
+            LoopbackWorker::new(|s| Ok(answer(s))),
+            NetFaultConfig::new(5).with_crash_after_jobs(2),
+        );
+        let batch = run_remote(
+            vec![Box::new(crash)],
+            &RemoteConfig::default(),
+            &jobs(6),
+            None,
+            |job| Ok(answer(&job.spec)),
+        )
+        .unwrap();
+        expect_all_ok(&batch, 6);
+        assert_eq!(batch.stats.rung, Rung::Degraded, "{:?}", batch.stats);
+        assert!(batch.stats.remote_done >= 1);
+        assert!(batch.stats.local_done >= 1);
+        assert_eq!(batch.stats.live_workers, 0);
+    }
+
+    #[test]
+    fn remote_exec_failure_falls_back_to_the_local_rung() {
+        // The remote runner rejects every spec; local computes it. This
+        // is the ladder in miniature: remote attempt → typed failure →
+        // local completion.
+        let rejecting = LoopbackWorker::new(|_| Err("remote says no".to_owned()));
+        let cfg = RemoteConfig::default().with_job_attempts(2);
+        let batch = run_remote(
+            vec![Box::new(rejecting)],
+            &cfg,
+            &jobs(3),
+            None,
+            |job| Ok(answer(&job.spec)),
+        )
+        .unwrap();
+        expect_all_ok(&batch, 3);
+        assert_eq!(batch.stats.rung, Rung::Local, "{:?}", batch.stats);
+        assert_eq!(batch.stats.local_done, 3);
+    }
+
+    #[test]
+    fn failure_on_every_rung_is_a_typed_error() {
+        let rejecting = LoopbackWorker::new(|_| Err("remote says no".to_owned()));
+        let batch = run_remote(
+            vec![Box::new(rejecting)],
+            &RemoteConfig::default().with_job_attempts(1),
+            &jobs(1),
+            None,
+            |_| Err("local says no too".to_owned()),
+        )
+        .unwrap();
+        let err = batch.outcomes[0].as_ref().expect_err("both rungs failed");
+        assert_eq!(err.kind, FailureKind::Exec);
+        assert!(err.message.contains("local says no too"), "{err}");
+        assert!(err.attempts >= 2, "remote + local attempts: {err:?}");
+    }
+
+    #[test]
+    fn version_mismatch_kills_the_worker_not_the_batch() {
+        let mut old = LoopbackWorker::new(|s| Ok(answer(s)));
+        old.advertise_version = 99;
+        let batch = run_remote(
+            vec![Box::new(old)],
+            &RemoteConfig::default(),
+            &jobs(2),
+            None,
+            |job| Ok(answer(&job.spec)),
+        )
+        .unwrap();
+        expect_all_ok(&batch, 2);
+        assert_eq!(batch.stats.rung, Rung::Local);
+        assert_eq!(batch.stats.worker_failures, 1);
+    }
+
+    #[test]
+    fn coordinator_restart_resumes_from_the_shared_cache() {
+        let dir = std::env::temp_dir().join(format!(
+            "maple-fleet-remote-restart-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open(&dir).unwrap();
+        let js = jobs(8);
+
+        // First coordinator dies mid-batch (poll budget models the crash).
+        let first = run_remote(
+            loopback_fleet(1),
+            &RemoteConfig::default().with_poll_budget(6),
+            &js,
+            Some(&cache),
+            |_| panic!("local rung must not run"),
+        );
+        assert!(
+            matches!(first, Err(RemoteError::Aborted { .. })),
+            "{first:?}"
+        );
+        let banked = cache.len().unwrap();
+        assert!(banked >= 1, "some results landed before the crash");
+
+        // A fresh coordinator over fresh transports finishes the batch,
+        // reusing everything the dead one banked.
+        let second = run_remote(
+            loopback_fleet(1),
+            &RemoteConfig::default(),
+            &js,
+            Some(&cache),
+            |_| panic!("local rung must not run"),
+        )
+        .unwrap();
+        expect_all_ok(&second, 8);
+        assert_eq!(second.stats.cache_hits, banked);
+        assert_eq!(second.stats.remote_done, 8 - banked);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_schedules_replay_bit_for_bit() {
+        let run = |seed: u64| {
+            let fleet: Vec<Box<dyn Transport>> = (0..3)
+                .map(|wi| {
+                    let inner = LoopbackWorker::new(|s| Ok(answer(s))).with_work_polls(2);
+                    let cfg = NetFaultConfig::new(seed ^ (wi as u64) << 8)
+                        .with_recv_drop(0.1)
+                        .with_recv_delay(0.2, 12)
+                        .with_send_drop(0.1);
+                    let cfg = if wi == 0 { cfg.with_crash_after_jobs(1) } else { cfg };
+                    Box::new(FaultyTransport::new(inner, cfg)) as Box<dyn Transport>
+                })
+                .collect();
+            let batch = run_remote(
+                fleet,
+                &RemoteConfig::default().with_lease_polls(10),
+                &jobs(9),
+                None,
+                |job| Ok(answer(&job.spec)),
+            )
+            .unwrap();
+            expect_all_ok(&batch, 9);
+            batch.stats
+        };
+        assert_eq!(run(11), run(11), "same seed, same batch history");
+    }
+
+    #[test]
+    fn serve_connection_works_over_real_tcp_with_heartbeats() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let worker = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            serve_connection(&mut t, Duration::from_millis(5), |spec| {
+                // Slow enough that heartbeats must carry the lease.
+                std::thread::sleep(Duration::from_millis(40));
+                Ok(answer(spec))
+            })
+        });
+
+        let t = TcpTransport::dial(&addr, 5, Duration::from_millis(10)).unwrap();
+        let cfg = RemoteConfig::default()
+            .with_lease_polls(10)
+            .with_poll_sleep(Duration::from_millis(2));
+        let batch = run_remote(vec![Box::new(t)], &cfg, &jobs(3), None, |_| {
+            panic!("local rung must not run")
+        })
+        .unwrap();
+        expect_all_ok(&batch, 3);
+        assert_eq!(batch.stats.rung, Rung::Remote);
+        assert_eq!(batch.stats.lease_expiries, 0, "{:?}", batch.stats);
+        assert_eq!(worker.join().unwrap().unwrap(), 3, "worker served 3 jobs");
+    }
+}

@@ -203,3 +203,40 @@ fn cache_serves_repeats_and_invalidates_exactly_the_changed_configs() {
     assert_eq!(fourth.fleet.cache_hits, cases.len());
     let _ = fs::remove_dir_all(cache.root());
 }
+
+#[test]
+fn corrupted_cache_entries_are_recomputed_not_propagated() {
+    let cases = cases_of(&[(Variant::Doall, 2), (Variant::SwDecoupled, 2)]);
+    let cache = scratch_cache("corruption");
+    let pool = FleetConfig::from_env().with_workers(2);
+
+    let first = suite_with(&cache, &pool, "cold", &cases, base_config, synthetic_run);
+    assert_eq!(first.fleet.cache_misses, cases.len());
+
+    // Vandalize the store three different ways: truncate one entry
+    // mid-payload, overwrite one with garbage, and empty a third. A
+    // wedged or stale on-disk store must cost only recomputation —
+    // never a panic, and never a wrong row.
+    let mut entries: Vec<PathBuf> = fs::read_dir(cache.root())
+        .expect("cache root exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+        .collect();
+    entries.sort();
+    assert!(entries.len() >= 3, "need three entries to vandalize");
+    let full = fs::read(&entries[0]).expect("read entry");
+    fs::write(&entries[0], &full[..full.len() / 2]).expect("truncate entry");
+    fs::write(&entries[1], b"not a fleet entry at all\x00\xff").expect("garbage entry");
+    fs::write(&entries[2], b"").expect("empty entry");
+
+    let second = suite_with(&cache, &pool, "vandalized", &cases, base_config, synthetic_run);
+    assert_eq!(second.fleet.cache_misses, 3, "each bad entry is a miss");
+    assert_eq!(second.fleet.cache_hits, cases.len() - 3);
+    assert_eq!(tsv_of(&first.rows), tsv_of(&second.rows));
+
+    // The bad entries were evicted and rewritten: fully warm again.
+    let third = suite_with(&cache, &pool, "healed", &cases, base_config, synthetic_run);
+    assert_eq!(third.fleet.cache_hits, cases.len());
+    assert_eq!(tsv_of(&first.rows), tsv_of(&third.rows));
+    let _ = fs::remove_dir_all(cache.root());
+}

@@ -1,0 +1,169 @@
+//! Property tests for the distributed fleet coordinator: for randomly
+//! generated job batches and randomly generated network-fault schedules,
+//! `run_remote` must terminate and return exactly the payloads the local
+//! reference computes — drops, delays, truncation, worker crashes and
+//! full-fleet death (degradation to local execution) included. This is
+//! the protocol-level analogue of the simulator's differential oracle:
+//! chaos may change *how* the batch executes, never *what* it computes.
+
+use maple_fleet::net::{FaultyTransport, LoopbackWorker, NetFaultConfig, Transport};
+use maple_fleet::remote::{run_remote, RemoteConfig, RemoteJob, Rung};
+use maple_testkit::{check, gen, tk_assert, Config};
+
+/// The deterministic "simulation" both sides run: a pure function of the
+/// spec string, so any payload mismatch can only come from the protocol
+/// delivering the wrong job or a stale/corrupt result.
+fn reference(spec: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in spec.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{spec}|{h:016x}")
+}
+
+/// A batch of `n` distinct jobs derived from `seed`.
+fn jobs_of(n: usize, seed: u64) -> Vec<RemoteJob> {
+    (0..n)
+        .map(|i| RemoteJob {
+            key: seed ^ ((i as u64) << 32) ^ 0x9e37_79b9,
+            spec: format!("job-{seed:x}-{i}"),
+        })
+        .collect()
+}
+
+/// One random fault schedule per worker, plus `crash_mask` bit `wi`
+/// crashing that worker after its first completed job.
+fn faulty_fleet(workers: usize, fault_seed: u64, crash_mask: u64) -> Vec<Box<dyn Transport>> {
+    (0..workers)
+        .map(|wi| {
+            // Rates derived from the seed so shrinking the seed shrinks
+            // the chaos; kept below 0.5 so progress stays plausible and
+            // the run terminates quickly.
+            let mix = fault_seed
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .rotate_left(wi as u32 * 7);
+            let rate = |shift: u32| f64::from((mix >> shift) as u8 % 40) / 100.0;
+            let mut cfg = NetFaultConfig::new(fault_seed ^ ((wi as u64 + 1) << 16))
+                .with_send_drop(rate(0))
+                .with_recv_drop(rate(8))
+                .with_recv_delay(rate(16), 8 + (mix >> 24) % 48)
+                .with_truncate(rate(32) / 4.0);
+            if crash_mask & (1 << wi) != 0 {
+                cfg = cfg.with_crash_after_jobs(1);
+            }
+            let worker = LoopbackWorker::new(|spec| Ok(reference(spec)))
+                .with_work_polls(1 + (mix >> 40) % 4)
+                .with_heartbeat_every(2);
+            Box::new(FaultyTransport::new(worker, cfg)) as Box<dyn Transport>
+        })
+        .collect()
+}
+
+#[test]
+fn chaotic_batches_match_the_local_reference() {
+    let inputs = (
+        gen::usize_in(1..5),    // workers
+        gen::usize_in(0..13),   // jobs
+        gen::u64_any(),         // job seed
+        gen::u64_any(),         // fault seed
+        gen::u64_in(0..16),     // crash mask (subset of 4 workers)
+        gen::u64_in(8..40),     // lease, in coordinator polls
+    );
+    let cfg = Config::new("chaotic_batches_match_the_local_reference").with_cases(48);
+    check(
+        &cfg,
+        &inputs,
+        |&(workers, njobs, job_seed, fault_seed, crash_mask, lease)| {
+            let jobs = jobs_of(njobs, job_seed);
+            let transports = faulty_fleet(workers, fault_seed, crash_mask);
+            let rcfg = RemoteConfig::default()
+                .with_lease_polls(lease)
+                .with_job_attempts(3)
+                .with_worker_strikes(2)
+                .with_backoff_base(2);
+            let batch = run_remote(transports, &rcfg, &jobs, None, |job| {
+                Ok(reference(&job.spec))
+            })
+            .expect("no poll budget: the coordinator cannot abort");
+
+            tk_assert!(
+                batch.outcomes.len() == jobs.len(),
+                "outcome count {} != job count {}",
+                batch.outcomes.len(),
+                jobs.len()
+            );
+            for (job, outcome) in jobs.iter().zip(&batch.outcomes) {
+                let got = match outcome {
+                    Ok(payload) => payload,
+                    Err(e) => {
+                        return Err(format!(
+                            "{}: failed under chaos even with local fallback: {e}",
+                            job.spec
+                        ))
+                    }
+                };
+                tk_assert!(
+                    *got == reference(&job.spec),
+                    "{}: payload diverged from reference: {got}",
+                    job.spec
+                );
+            }
+
+            let s = &batch.stats;
+            tk_assert!(
+                s.remote_done as usize + s.local_done as usize + s.cache_hits as usize
+                    == jobs.len(),
+                "dispatch accounting doesn't cover the batch: {s:?}"
+            );
+            let expected_rung = match (s.remote_done, s.local_done) {
+                (_, 0) => Rung::Remote,
+                (0, _) => Rung::Local,
+                _ => Rung::Degraded,
+            };
+            tk_assert!(
+                (jobs.is_empty() && s.local_done == 0) || s.rung == expected_rung,
+                "reported rung {:?} contradicts counters {s:?}",
+                s.rung
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn a_fully_crashing_fleet_degrades_to_local_execution() {
+    let inputs = (gen::usize_in(1..4), gen::usize_in(2..8), gen::u64_any());
+    let cfg = Config::new("a_fully_crashing_fleet_degrades_to_local_execution").with_cases(16);
+    check(&cfg, &inputs, |&(workers, njobs, seed)| {
+        let jobs = jobs_of(njobs, seed);
+        // Every worker dies during its first job: nothing can complete
+        // remotely, so the whole batch must drain through the fallback.
+        let transports: Vec<Box<dyn Transport>> = (0..workers)
+            .map(|wi| {
+                let worker = LoopbackWorker::new(|spec| Ok(reference(spec)));
+                let cfg = NetFaultConfig::new(seed ^ wi as u64).with_crash_after_jobs(0);
+                Box::new(FaultyTransport::new(worker, cfg)) as Box<dyn Transport>
+            })
+            .collect();
+        let rcfg = RemoteConfig::default()
+            .with_lease_polls(8)
+            .with_worker_strikes(1);
+        let batch = run_remote(transports, &rcfg, &jobs, None, |job| {
+            Ok(reference(&job.spec))
+        })
+        .expect("no poll budget: the coordinator cannot abort");
+        for (job, outcome) in jobs.iter().zip(&batch.outcomes) {
+            tk_assert!(
+                outcome.as_deref() == Ok(reference(&job.spec).as_str()),
+                "{}: wrong or missing payload after degradation: {outcome:?}",
+                job.spec
+            );
+        }
+        tk_assert!(
+            batch.stats.rung == Rung::Local && batch.stats.remote_done == 0,
+            "a dead fleet must report the local rung: {:?}",
+            batch.stats
+        );
+        Ok(())
+    });
+}
