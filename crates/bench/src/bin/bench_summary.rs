@@ -13,9 +13,35 @@ use std::path::PathBuf;
 
 use maple_bench::experiments::{decoupling_suite, prefetch_suite, prior_work_suite, FleetLine};
 use maple_bench::rtt::measure_roundtrip;
-use maple_bench::stepper::{partitioned_sweep, stall_heavy_comparison};
-use maple_bench::summary::{build_json, HarnessLine, PartitionedLine, StepperLine};
+use maple_bench::stepper::{fast_path_comparison, partitioned_sweep, stall_heavy_comparison};
+use maple_bench::summary::{
+    build_json, readme_throughput_table, FastPathLine, HarnessLine, PartitionedLine, StepperLine,
+    README_TABLE_BEGIN, README_TABLE_END,
+};
 use maple_soc::config::SocConfig;
+
+/// Rewrites the generated throughput block of `README.md` in place from
+/// the freshly built document; leaves the file untouched (and warns)
+/// when the markers are missing.
+fn rewrite_readme_table(readme: &PathBuf, doc: &maple_trace::Json) {
+    let Ok(text) = fs::read_to_string(readme) else {
+        eprintln!("[bench_summary] README.md not found; skipping table rewrite");
+        return;
+    };
+    let (Some(begin), Some(end)) = (text.find(README_TABLE_BEGIN), text.find(README_TABLE_END))
+    else {
+        eprintln!("[bench_summary] README.md throughput markers missing; skipping rewrite");
+        return;
+    };
+    let mut out = text[..begin + README_TABLE_BEGIN.len()].to_string();
+    out.push('\n');
+    out.push_str(&readme_throughput_table(doc));
+    out.push_str(&text[end..]);
+    if out != text {
+        fs::write(readme, out).expect("rewrite README.md");
+        eprintln!("[bench_summary] README.md throughput table rewritten");
+    }
+}
 
 fn main() {
     let t0 = std::time::Instant::now();
@@ -37,11 +63,30 @@ fn main() {
         "steppers diverged: {:?}",
         cmp.divergence()
     );
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let stepper = StepperLine {
         cycles: cmp.dense.stats.cycles,
+        host_cores,
         dense_mcycles_per_sec: cmp.dense.mcycles_per_sec(),
         skipping_mcycles_per_sec: cmp.skipping.mcycles_per_sec(),
         speedup: cmp.speedup(),
+    };
+
+    eprintln!("[bench_summary] measuring compiled fast-path throughput...");
+    let fp = fast_path_comparison(0x57E9);
+    assert!(
+        fp.divergence().is_none(),
+        "fast path diverged: {:?}",
+        fp.divergence()
+    );
+    let fast_path = FastPathLine {
+        cycles: fp.fast.cycles,
+        host_cores,
+        interpreted_mcycles_per_sec: fp.interpreted.mcycles_per_sec(),
+        fast_path_mcycles_per_sec: fp.fast.mcycles_per_sec(),
+        speedup: fp.speedup(),
+        fast_path_runs: fp.fast.fast_path_runs,
+        interpreted_ticks: fp.fast.interpreted_ticks,
     };
 
     eprintln!("[bench_summary] measuring partitioned stepper throughput...");
@@ -51,7 +96,6 @@ fn main() {
         "partitioned stepper diverged: {:?}",
         sweep.divergence()
     );
-    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let partitioned = PartitionedLine {
         cycles: sweep.skipping.stats.cycles,
         host_cores,
@@ -84,11 +128,15 @@ fn main() {
         &harness,
         Some(&stepper),
         Some(&partitioned),
+        Some(&fast_path),
     );
 
     let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     path.push("../../BENCH_maple.json");
     fs::write(&path, doc.render_pretty() + "\n").expect("write BENCH_maple.json");
+    let mut readme = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    readme.push("../../README.md");
+    rewrite_readme_table(&readme, &doc);
     eprintln!(
         "[bench_summary] sweep {} (total wall {:.2}s)",
         totals.render(),

@@ -11,6 +11,12 @@
 //! host-independent lines so `ci.sh` can byte-diff the output across
 //! worker counts.
 //!
+//! With `--fast-path` it runs the compiled fast-path determinism gate:
+//! the mixed SPMV MAPLE-decoupled workload and the compute-heavy kernel
+//! under interpreter vs batched micro-op-run dispatch, across steppers
+//! and the recoverable chaos schedules, again printing only
+//! host-independent lines for the cross-worker byte-diff.
+//!
 //! With `--speedup-floor X` it runs the partitioned *throughput*
 //! expectation: the 4-partition sweep must reach `X`× the
 //! single-threaded skipping baseline. This gate is honest about the
@@ -19,7 +25,9 @@
 //! only the bit-exactness gates above apply there.
 
 use maple_bench::report::FigureReport;
-use maple_bench::stepper::{partitioned_gate, partitioned_sweep, stall_heavy_comparison};
+use maple_bench::stepper::{
+    fast_path_gate, partitioned_gate, partitioned_sweep, stall_heavy_comparison,
+};
 
 fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -64,6 +72,16 @@ fn main() {
             .filter(|&f| f > 0.0)
             .expect("--speedup-floor takes a positive number");
         std::process::exit(speedup_floor_gate(floor));
+    }
+    if args.iter().any(|a| a == "--fast-path") {
+        match fast_path_gate(0x57E9) {
+            Ok(report) => println!("{report}"),
+            Err(msg) => {
+                eprintln!("[stepper_check] FAST-PATH DIVERGENCE\n{msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
     if let Some(i) = args.iter().position(|a| a == "--partitions") {
         let n: usize = args

@@ -33,6 +33,10 @@ pub struct HarnessLine {
 pub struct StepperLine {
     /// Simulated cycles of the benchmark config (stepper-independent).
     pub cycles: u64,
+    /// Host CPUs available to the run (`available_parallelism`). Always
+    /// recorded so throughput numbers can be read in context even
+    /// though both steppers here are single-threaded.
+    pub host_cores: usize,
     /// Dense-loop simulated Mcycles per host second.
     pub dense_mcycles_per_sec: f64,
     /// Skipping-loop simulated Mcycles per host second.
@@ -40,6 +44,34 @@ pub struct StepperLine {
     /// `skipping / dense` host-throughput ratio.
     pub speedup: f64,
 }
+
+/// Host-throughput line for the compiled core fast path (batched
+/// micro-op-run dispatch vs per-instruction interpretation), measured on
+/// the compute-heavy kernel of `crate::stepper`. Run-to-run varying,
+/// like [`HarnessLine`]. Both sides are single-threaded, so unlike the
+/// partitioned sweep the speedup floor is enforceable on any host.
+#[derive(Debug, Clone, Default)]
+pub struct FastPathLine {
+    /// Simulated cycles of the kernel (dispatch-mode-independent).
+    pub cycles: u64,
+    /// Host CPUs available to the run (`available_parallelism`).
+    pub host_cores: usize,
+    /// Interpreter-dispatch simulated Mcycles per host second.
+    pub interpreted_mcycles_per_sec: f64,
+    /// Fast-path-dispatch simulated Mcycles per host second.
+    pub fast_path_mcycles_per_sec: f64,
+    /// `fast_path / interpreted` host-throughput ratio.
+    pub speedup: f64,
+    /// Micro-op runs dispatched by the fast path (simulated, proves the
+    /// path engaged).
+    pub fast_path_runs: u64,
+    /// Remaining single-instruction interpreter dispatches (simulated).
+    pub interpreted_ticks: u64,
+}
+
+/// The acceptance floor for the fast-path speedup recorded in
+/// `BENCH_maple.json` and checked by its `speedup_gate` tag.
+pub const FAST_PATH_SPEEDUP_FLOOR: f64 = 5.0;
 
 /// Host-throughput sweep of the partitioned parallel stepper against the
 /// single-threaded skipping baseline, measured on the scaled stall-heavy
@@ -95,6 +127,7 @@ pub fn geomean_speedup(rows: &[Measurement], num_variant: &str, den_variant: &st
 ///
 /// Everything except `harness` is a pure function of the measurements.
 #[must_use]
+#[allow(clippy::too_many_arguments)] // one positional slot per document section
 pub fn build_json(
     fig08: &[Measurement],
     fig09: &[Measurement],
@@ -103,6 +136,7 @@ pub fn build_json(
     harness: &HarnessLine,
     stepper: Option<&StepperLine>,
     partitioned: Option<&PartitionedLine>,
+    fast_path: Option<&FastPathLine>,
 ) -> Json {
     let latencies: Vec<(String, Json)> = pairs_of(fig09)
         .into_iter()
@@ -203,6 +237,7 @@ pub fn build_json(
             Json::obj(vec![
                 ("benchmark", Json::from("spmv doall, DRAM 300cy")),
                 ("simulated_cycles", Json::from(s.cycles)),
+                ("host_cores", Json::from(s.host_cores as u64)),
                 (
                     "dense_mcycles_per_sec",
                     Json::from(s.dense_mcycles_per_sec),
@@ -256,5 +291,140 @@ pub fn build_json(
             ]),
         ));
     }
+    if let Some(f) = fast_path {
+        members.push((
+            "stepper_fast_path",
+            Json::obj(vec![
+                (
+                    "benchmark",
+                    Json::from("compute-heavy ALU kernel, 4 cores, no engines"),
+                ),
+                ("simulated_cycles", Json::from(f.cycles)),
+                ("host_cores", Json::from(f.host_cores as u64)),
+                // Unlike the partitioned sweep, both sides of this
+                // ratio are single-threaded, so the floor applies on
+                // any host — the tag records whether this run met it.
+                ("speedup_floor", Json::from(FAST_PATH_SPEEDUP_FLOOR)),
+                (
+                    "speedup_gate",
+                    Json::from(if f.speedup >= FAST_PATH_SPEEDUP_FLOOR {
+                        "met"
+                    } else {
+                        "MISSED"
+                    }),
+                ),
+                (
+                    "interpreted_mcycles_per_sec",
+                    Json::from(f.interpreted_mcycles_per_sec),
+                ),
+                (
+                    "fast_path_mcycles_per_sec",
+                    Json::from(f.fast_path_mcycles_per_sec),
+                ),
+                ("speedup", Json::from(f.speedup)),
+                ("fast_path_runs", Json::from(f.fast_path_runs)),
+                ("interpreted_ticks", Json::from(f.interpreted_ticks)),
+            ]),
+        ));
+    }
     Json::obj(members)
+}
+
+/// Marker opening the generated throughput block in `README.md`.
+pub const README_TABLE_BEGIN: &str =
+    "<!-- BEGIN GENERATED: throughput-table (bench_summary rewrites this block) -->";
+/// Marker closing the generated throughput block in `README.md`.
+pub const README_TABLE_END: &str = "<!-- END GENERATED: throughput-table -->";
+
+fn mcy(v: f64) -> String {
+    format!("≈ {v:.1} Mcycles/s")
+}
+
+/// Renders the README throughput table from a built (or parsed)
+/// `BENCH_maple.json` document, so the committed prose can never drift
+/// from the committed measurements: `bench_summary` rewrites the block
+/// between [`README_TABLE_BEGIN`] and [`README_TABLE_END`], and a test
+/// regenerates it from the checked-in JSON and diffs the README.
+///
+/// Returns the table alone (no markers, trailing newline included);
+/// sections absent from `doc` are omitted row-wise.
+#[must_use]
+pub fn readme_throughput_table(doc: &Json) -> String {
+    let mut rows: Vec<[String; 4]> = Vec::new();
+    if let Some(s) = doc.get("stepper") {
+        let dense = s.get("dense_mcycles_per_sec").and_then(Json::as_f64);
+        let skip = s.get("skipping_mcycles_per_sec").and_then(Json::as_f64);
+        if let (Some(dense), Some(skip)) = (dense, skip) {
+            rows.push([
+                "dense reference loop".into(),
+                "stall-heavy SPMV".into(),
+                mcy(dense),
+                "1.0×".into(),
+            ]);
+            rows.push([
+                "event-horizon skipping".into(),
+                "stall-heavy SPMV".into(),
+                mcy(skip),
+                format!("≈ {:.1}×", skip / dense),
+            ]);
+        }
+    }
+    if let Some(f) = doc.get("stepper_fast_path") {
+        let interp = f.get("interpreted_mcycles_per_sec").and_then(Json::as_f64);
+        let fast = f.get("fast_path_mcycles_per_sec").and_then(Json::as_f64);
+        if let (Some(interp), Some(fast)) = (interp, fast) {
+            rows.push([
+                "skipping, per-instruction interpreter".into(),
+                "compute-heavy ALU".into(),
+                mcy(interp),
+                "1.0×".into(),
+            ]);
+            rows.push([
+                "skipping + compiled fast path".into(),
+                "compute-heavy ALU".into(),
+                mcy(fast),
+                format!("≈ {:.1}×", fast / interp),
+            ]);
+        }
+    }
+    let header = [
+        [
+            "stepper / dispatch".to_string(),
+            "benchmark".into(),
+            "host throughput".into(),
+            "speedup".into(),
+        ],
+        [
+            String::new(), // widths filled with dashes below
+            String::new(),
+            String::new(),
+            String::new(),
+        ],
+    ];
+    let mut width = [0usize; 4];
+    for row in header.iter().take(1).chain(rows.iter()) {
+        for (w, cell) in width.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let render = |out: &mut String, row: &[String; 4], pad: char| {
+        out.push('|');
+        for (w, cell) in width.iter().zip(row.iter()) {
+            out.push(pad);
+            out.push_str(cell);
+            for _ in cell.chars().count()..*w {
+                out.push(pad);
+            }
+            out.push(pad);
+            out.push('|');
+        }
+        out.push('\n');
+    };
+    render(&mut out, &header[0], ' ');
+    render(&mut out, &header[1], '-');
+    for row in &rows {
+        render(&mut out, row, ' ');
+    }
+    out
 }

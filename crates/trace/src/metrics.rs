@@ -265,6 +265,15 @@ impl MetricsSnapshot {
         self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
     }
 
+    /// Keeps only the entries whose name satisfies `pred`, preserving
+    /// registration order. Differential comparisons use this to strip
+    /// metrics that are legitimately mode-dependent (e.g. the
+    /// fast-path/interpreter dispatch split) before asserting byte
+    /// equality on everything else.
+    pub fn retain(&mut self, mut pred: impl FnMut(&str) -> bool) {
+        self.entries.retain(|(name, _)| pred(name));
+    }
+
     /// Renders the text table.
     #[must_use]
     pub fn render_table(&self) -> String {

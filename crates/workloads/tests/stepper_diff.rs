@@ -232,6 +232,162 @@ fn partitioned_traced_streams_identical() {
     );
 }
 
+/// Strips the per-core `/dispatch/` counters, which legitimately differ
+/// between interpreter and fast-path dispatch, from a rendered snapshot.
+fn comparable_metrics(sys: &maple_soc::System) -> String {
+    let mut snap = sys.metrics_snapshot();
+    snap.retain(|name| !name.contains("/dispatch/"));
+    snap.to_json().render()
+}
+
+#[test]
+fn fast_path_grid_bit_exact() {
+    // The compiled fast path batches straight-line compute into micro-op
+    // runs; every variant (each mixes compute with a different memory
+    // path) must replay identically with the path on — under both the
+    // skipping and the dense stepper — against the interpreter-only
+    // dense reference.
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED ^ 0x41);
+    let x = dense_vector(4 * 1024, SEED ^ 0x411);
+    let inst = Spmv { a, x };
+    let grid: Vec<(Variant, usize)> = ORACLE_VARIANTS
+        .iter()
+        .copied()
+        .chain([(Variant::MapleLima, 1), (Variant::SwPrefetch { dist: 4 }, 1)])
+        .collect();
+    for (v, t) in grid {
+        let dense = inst.run_tuned(v, t, |c| c.with_dense_stepper());
+        let fast_skip = inst.run_tuned(v, t, |c| c.with_fast_path(true));
+        let fast_dense = inst.run_tuned(v, t, |c| c.with_fast_path(true).with_dense_stepper());
+        assert_eq!(
+            fast_skip, dense,
+            "spmv {v:?} x{t}: fast-path skipping diverged from interpreter dense\n\
+             replay: SEED={SEED:#x}"
+        );
+        assert_eq!(
+            fast_dense, dense,
+            "spmv {v:?} x{t}: fast-path dense diverged from interpreter dense\n\
+             replay: SEED={SEED:#x}"
+        );
+        assert!(fast_skip.verified, "spmv {v:?} x{t}: wrong result");
+    }
+}
+
+#[test]
+fn fast_path_chaos_grid_bit_exact() {
+    // Chaos injections are exactly what the dispatch fence guards: a run
+    // must never execute past a cycle where the hub could act. Every
+    // schedule — including the unrecoverable ack blackout — must tell
+    // the same story with the fast path on, sequentially and partitioned.
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED ^ 0x4C);
+    let x = dense_vector(4 * 1024, SEED ^ 0x4C1);
+    let inst = Spmv { a, x };
+    for schedule in chaos_schedules(SEED ^ 0xFA57) {
+        let plane = schedule.plane.clone();
+        let reference = inst.run_tuned(Variant::MapleDecoupled, 2, {
+            let p = plane.clone();
+            move |c| c.with_fault_plane(p).with_dense_stepper()
+        });
+        let fast = inst.run_tuned(Variant::MapleDecoupled, 2, {
+            let p = plane.clone();
+            move |c| c.with_fault_plane(p).with_fast_path(true)
+        });
+        let fast_part = inst.run_tuned(Variant::MapleDecoupled, 2, move |c| {
+            c.with_fault_plane(plane)
+                .with_fast_path(true)
+                .with_partitions(4)
+                .with_partition_workers(4)
+        });
+        assert_eq!(
+            fast, reference,
+            "chaos schedule `{}`: fast path diverged from interpreter\nreplay: SEED={SEED:#x}",
+            schedule.name
+        );
+        assert_eq!(
+            fast_part, reference,
+            "chaos schedule `{}`: partitioned fast path diverged\nreplay: SEED={SEED:#x}",
+            schedule.name
+        );
+        assert_eq!(fast.hung, reference.hung);
+    }
+}
+
+#[test]
+fn fast_path_partitioned_grid_bit_exact() {
+    // The partitions×workers cell grid with the fast path on: run stats
+    // and the dispatch-stripped metrics snapshot must match the
+    // interpreter-only dense reference in every cell, and the fast-path
+    // run count itself must be identical in every cell (dispatch is
+    // decided by phase-1 state shared by all steppers).
+    let a = uniform_sparse(32, 4 * 1024, 5, SEED ^ 0x47);
+    let x = dense_vector(4 * 1024, SEED ^ 0x471);
+    let inst = Spmv { a, x };
+    let tune = |c: maple_soc::SocConfig| c.with_maples(2);
+    let (dense_stats, dense_sys) =
+        inst.run_observed(Variant::MapleDecoupled, 4, |c| tune(c).with_dense_stepper());
+    let dense_json = comparable_metrics(&dense_sys);
+    let mut run_counts: Vec<String> = Vec::new();
+    for parts in [1usize, 2, 4] {
+        for workers in [1usize, 2, 4] {
+            let (stats, sys) = inst.run_observed(Variant::MapleDecoupled, 4, move |c| {
+                tune(c)
+                    .with_fast_path(true)
+                    .with_partitions(parts)
+                    .with_partition_workers(workers)
+            });
+            assert_eq!(
+                stats, dense_stats,
+                "fast path, partitions={parts} workers={workers}: diverged from dense\n\
+                 replay: SEED={SEED:#x}"
+            );
+            assert_eq!(
+                comparable_metrics(&sys),
+                dense_json,
+                "fast path, partitions={parts} workers={workers}: metrics JSON diverged"
+            );
+            let snap = sys.metrics_snapshot();
+            let dispatch: String = snap
+                .entries()
+                .iter()
+                .filter(|(name, _)| name.contains("/dispatch/"))
+                .map(|(name, v)| format!("{name}={v:?};"))
+                .collect();
+            run_counts.push(dispatch);
+        }
+    }
+    assert!(
+        run_counts.windows(2).all(|w| w[0] == w[1]),
+        "dispatch counters are not stepper-invariant across the cell grid"
+    );
+}
+
+#[test]
+fn fast_path_traced_streams_identical() {
+    // The core traces stall spans and MMIO transactions, never compute
+    // retirement, so batched dispatch must leave the trace stream
+    // byte-identical to the interpreter's.
+    let a = uniform_sparse(16, 2048, 4, SEED ^ 0x4F);
+    let x = dense_vector(2048, SEED ^ 0x4F1);
+    let inst = Spmv { a, x };
+    let (fast_stats, fast_sys) = inst.run_observed(Variant::MapleDecoupled, 2, |c| {
+        c.with_tracing(TraceConfig::default()).with_fast_path(true)
+    });
+    let (ref_stats, ref_sys) = inst.run_observed(Variant::MapleDecoupled, 2, |c| {
+        c.with_tracing(TraceConfig::default())
+    });
+    assert_eq!(fast_stats, ref_stats, "stats diverged on traced run");
+    assert_eq!(
+        fast_sys.trace_records(),
+        ref_sys.trace_records(),
+        "trace stream diverged under fast-path dispatch"
+    );
+    assert_eq!(
+        comparable_metrics(&fast_sys),
+        comparable_metrics(&ref_sys),
+        "metrics snapshot diverged under fast-path dispatch"
+    );
+}
+
 #[test]
 fn traced_run_streams_identical() {
     // Tracing observes individual cycles, so it is the sharpest probe of

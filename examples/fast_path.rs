@@ -1,0 +1,113 @@
+//! The compiled core fast path: batched micro-op runs between memory
+//! events.
+//!
+//! A core spends most of its simulated life in straight-line compute —
+//! address arithmetic, loop counters, reductions — where each simulated
+//! instruction costs one host dispatch through the interpreter. With
+//! `SocConfig::with_fast_path(true)` the core pre-decodes each maximal
+//! straight-line block of compute instructions into a cached micro-op
+//! run and executes the whole run in a single `tick`, charging the
+//! summed latency in bulk. The architectural timeline is **bit-exact**
+//! either way (DESIGN.md §12 has the argument); only host throughput
+//! and the per-core `dispatch` counters change.
+//!
+//! This example runs the same compute-heavy loop twice — interpreter
+//! dispatch, then fast-path dispatch — and reads those counters out of
+//! the metrics snapshot to show where the host time went.
+//!
+//! Run with: `cargo run --release -p maple-bench --example fast_path`
+
+use maple_isa::builder::ProgramBuilder;
+use maple_isa::{AluOp, Cond};
+use maple_soc::config::SocConfig;
+use maple_soc::system::System;
+use maple_trace::metrics::MetricValue;
+
+const ITERS: u64 = 5_000;
+const UNROLL: usize = 32;
+
+/// Expected accumulator value, mirrored on the host.
+fn reference(mut acc: u64) -> u64 {
+    for i in 0..ITERS {
+        for k in 0..UNROLL {
+            match k % 3 {
+                0 => acc = acc.wrapping_mul(3),
+                1 => acc = acc.wrapping_add(i),
+                _ => acc ^= k as u64,
+            }
+        }
+    }
+    acc
+}
+
+fn run(fast_path: bool) -> (u64, f64) {
+    let cfg = SocConfig::fpga_prototype()
+        .with_cores(1)
+        .with_maples(0)
+        .with_fast_path(fast_path);
+    let mut sys = System::new(cfg);
+
+    let mut b = ProgramBuilder::new();
+    let acc = b.reg("acc");
+    let i = b.reg("i");
+    let n = b.reg("n");
+    b.li(i, 0);
+    b.li(n, ITERS);
+    let top = b.here("loop");
+    for k in 0..UNROLL {
+        // The unrolled body is pure register compute: one straight-line
+        // block, so the fast path turns each loop iteration into a
+        // single batched dispatch plus one interpreted branch.
+        match k % 3 {
+            0 => b.mul(acc, acc, 3i64),
+            1 => b.add(acc, acc, i),
+            _ => b.alu(AluOp::Xor, acc, acc, k as i64),
+        }
+    }
+    b.addi(i, i, 1);
+    b.br(Cond::Ne, i, n, top);
+    b.halt();
+    sys.load_program(b.build().unwrap(), &[(acc, 0xACC0)]);
+
+    let t0 = std::time::Instant::now();
+    let outcome = sys.run(10_000_000);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(outcome.is_finished(), "kernel must finish");
+    assert_eq!(sys.core(0).reg(acc), reference(0xACC0), "wrong result");
+
+    // The dispatch counters tell the story: how many micro-op runs the
+    // fast path batched, and how many instructions still went through
+    // the one-at-a-time interpreter (branches and the halt).
+    let snapshot = sys.metrics_snapshot();
+    let counter = |name: &str| match snapshot.get(name) {
+        Some(MetricValue::Counter(v)) => *v,
+        _ => 0,
+    };
+    println!(
+        "  {} dispatch: {} cycles in {wall:.3}s host ({:.1} Mcy/s)",
+        if fast_path { "fast-path" } else { "interpreter" },
+        outcome.cycle().0,
+        outcome.cycle().0 as f64 / wall / 1.0e6,
+    );
+    println!(
+        "    core0 dispatch counters: fast_path_runs={} fast_path_insts={} interpreted_ticks={}",
+        counter("core0/dispatch/fast_path_runs"),
+        counter("core0/dispatch/fast_path_insts"),
+        counter("core0/dispatch/interpreted_ticks"),
+    );
+    (outcome.cycle().0, wall)
+}
+
+fn main() {
+    println!("compute-heavy loop, {ITERS} iterations x {UNROLL} ALU slots:");
+    let (interp_cycles, interp_wall) = run(false);
+    let (fast_cycles, fast_wall) = run(true);
+    assert_eq!(
+        interp_cycles, fast_cycles,
+        "the fast path must not move the architectural timeline"
+    );
+    println!(
+        "  bit-exact at {fast_cycles} cycles; host speedup {:.1}x",
+        interp_wall / fast_wall
+    );
+}

@@ -130,6 +130,23 @@ fi
 grep -q "partitioned ok: bit-exact" target/partitioned_gate_jobs1.txt
 echo "    $(tail -n 1 target/partitioned_gate_jobs1.txt), identical at 1 and 4 workers"
 
+echo "==> stepper: compiled fast path must be bit-exact with the interpreter"
+# The fast-path gate crosses dispatch modes (batched micro-op runs vs
+# per-instruction interpretation) against steppers, a 4-way partitioned
+# run and the recoverable chaos schedules, then proves the path engages
+# on a compute-heavy kernel. Host-independent lines only, so the output
+# must be byte-identical at 1 and 4 workers.
+MAPLE_JOBS=1 cargo run --offline --release -q -p maple-bench --bin stepper_check \
+    -- --fast-path > target/fast_path_gate_jobs1.txt
+MAPLE_JOBS=4 cargo run --offline --release -q -p maple-bench --bin stepper_check \
+    -- --fast-path > target/fast_path_gate_jobs4.txt
+if ! diff target/fast_path_gate_jobs1.txt target/fast_path_gate_jobs4.txt; then
+    echo "ERROR: fast-path gate output differs between MAPLE_JOBS=1 and =4" >&2
+    exit 1
+fi
+grep -q "fast-path ok: bit-exact" target/fast_path_gate_jobs1.txt
+echo "    $(tail -n 1 target/fast_path_gate_jobs1.txt), identical at 1 and 4 workers"
+
 echo "==> stepper: partitioned throughput floor (skipped honestly on 1-core hosts)"
 # The speedup expectation is host-dependent: a 1-core container pins the
 # parallel stepper at ~1.0x no matter the partition count, so the gate
@@ -142,8 +159,9 @@ grep -Eq "stepper speedup gate" target/stepper_speedup.txt
 echo "==> lint: clippy, warnings are errors"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> docs gate: rustdoc builds warning-clean"
-RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
+echo "==> docs gate: rustdoc builds warning-clean, intra-doc links resolve"
+RUSTDOCFLAGS="-D warnings -D rustdoc::broken-intra-doc-links" \
+    cargo doc --offline --no-deps --workspace -q
 
 echo "==> trace smoke: traced SPMV run exports a valid, non-empty trace"
 cargo run --offline --release -q --example trace_spmv > /dev/null

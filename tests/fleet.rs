@@ -122,8 +122,17 @@ fn suite_rows_and_summary_json_identical_across_worker_counts() {
         let mut tsv = tsv_of(&fig08.rows);
         tsv.extend(tsv_of(&fig09.rows));
         tsv.extend(tsv_of(&fig12.rows));
-        let json = build_json(&fig08.rows, &fig09.rows, &fig12.rows, 42.0, &harness, None, None)
-            .render_pretty();
+        let json = build_json(
+            &fig08.rows,
+            &fig09.rows,
+            &fig12.rows,
+            42.0,
+            &harness,
+            None,
+            None,
+            None,
+        )
+        .render_pretty();
         match &reference {
             None => reference = Some((tsv, json)),
             Some((ref_tsv, ref_json)) => {

@@ -1,0 +1,55 @@
+//! Keeps the README's generated throughput table in lockstep with the
+//! committed `BENCH_maple.json`: the table between the
+//! `BEGIN/END GENERATED: throughput-table` markers must be exactly what
+//! `readme_throughput_table` renders from the checked-in measurements.
+//! `bench_summary` rewrites the block on every run, so a mismatch means
+//! one of the two files was edited by hand.
+
+use maple_bench::summary::{readme_throughput_table, README_TABLE_BEGIN, README_TABLE_END};
+use maple_trace::Json;
+use std::path::PathBuf;
+
+fn repo_file(name: &str) -> String {
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.push("../..");
+    path.push(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn readme_table_matches_committed_bench_json() {
+    let doc = Json::parse(&repo_file("BENCH_maple.json")).expect("BENCH_maple.json parses");
+    let readme = repo_file("README.md");
+    let begin = readme
+        .find(README_TABLE_BEGIN)
+        .expect("README has the BEGIN throughput-table marker");
+    let end = readme
+        .find(README_TABLE_END)
+        .expect("README has the END throughput-table marker");
+    let block = &readme[begin + README_TABLE_BEGIN.len()..end];
+    let expected = format!("\n{}", readme_throughput_table(&doc));
+    assert_eq!(
+        block, expected,
+        "README throughput table is out of sync with BENCH_maple.json \
+         (run `cargo run --release -p maple-bench --bin bench_summary` to regenerate)"
+    );
+}
+
+#[test]
+fn rendered_table_has_a_row_per_recorded_section() {
+    // The renderer itself: every section present in the document yields
+    // its pair of rows, and the speedup column derives from the
+    // throughput columns.
+    let doc = Json::parse(&repo_file("BENCH_maple.json")).expect("BENCH_maple.json parses");
+    let table = readme_throughput_table(&doc);
+    for (section, label) in [
+        ("stepper", "event-horizon skipping"),
+        ("stepper_fast_path", "skipping + compiled fast path"),
+    ] {
+        assert_eq!(
+            doc.get(section).is_some(),
+            table.contains(label),
+            "table row presence must track the `{section}` section"
+        );
+    }
+}
