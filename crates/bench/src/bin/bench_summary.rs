@@ -15,9 +15,10 @@ use maple_bench::experiments::{decoupling_suite, prefetch_suite, prior_work_suit
 use maple_bench::rtt::measure_roundtrip;
 use maple_bench::stepper::{fast_path_comparison, partitioned_sweep, stall_heavy_comparison};
 use maple_bench::summary::{
-    build_json, readme_throughput_table, FastPathLine, HarnessLine, PartitionedLine, StepperLine,
-    README_TABLE_BEGIN, README_TABLE_END,
+    build_json, readme_throughput_table, FastPathLine, HarnessLine, PartitionedLine, ServingLine,
+    StepperLine, README_TABLE_BEGIN, README_TABLE_END,
 };
+use maple_serve::{serve, ServeConfig};
 use maple_soc::config::SocConfig;
 
 /// Rewrites the generated throughput block of `README.md` in place from
@@ -114,6 +115,31 @@ fn main() {
             .collect(),
     };
 
+    eprintln!("[bench_summary] measuring multi-tenant serving tail latency...");
+    let serve_cfg = ServeConfig::standard(0x57E9);
+    let (tenants, engines) = (serve_cfg.tenants.len(), serve_cfg.maples);
+    let (sim, ss) = serve(serve_cfg);
+    assert!(ss.verified, "serving session left requests unverified");
+    let serving = ServingLine {
+        tenants,
+        engines,
+        total_requests: ss.total_requests,
+        completed: ss.completed,
+        p50: ss.p50,
+        p99: ss.p99,
+        max: ss.max,
+        fairness: ss.fairness(),
+        context_switches: ss.context_switches,
+        switch_cycles: ss.switch_cycles,
+        remaps: ss.remaps,
+        elapsed_vcycles: ss.elapsed,
+    };
+    // The full snapshot mixes core/engine counters into the serving
+    // view; retain only the `serve/` namespace for the printed table.
+    let mut serve_metrics = sim.metrics();
+    serve_metrics.retain(|name| name.starts_with("serve/"));
+    eprintln!("{}", serve_metrics.render_table());
+
     let harness = HarnessLine {
         jobs: totals.jobs,
         wall_seconds: t0.elapsed().as_secs_f64(),
@@ -129,6 +155,7 @@ fn main() {
         Some(&stepper),
         Some(&partitioned),
         Some(&fast_path),
+        Some(&serving),
     );
 
     let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));

@@ -303,6 +303,9 @@ pub fn decode_stats(payload: &str) -> Result<RunStats, String> {
         shootdowns_injected: u("f.shootdowns_injected")?,
         engines_poisoned: u("f.engines_poisoned")?,
         ladder_rung: u("f.ladder_rung")?,
+        // Tenant attribution is a local-scheduler concern; the fleet wire
+        // format carries batch runs only.
+        tenant: None,
     };
     let stall = maple_trace::StallBreakdown {
         l1_miss: u("s.l1_miss")?,

@@ -1,0 +1,133 @@
+//! The multi-tenant serving sweep and its CI gate.
+//!
+//! The sweep runs the [`maple_serve`] differential oracle over the full
+//! acceptance grid — {skipping, dense, 4-partition} steppers × compiled
+//! fast path on/off × {no chaos, one recoverable seeded chaos schedule}
+//! — dispatching cells through the [`maple_fleet`] batch executor, plus
+//! one engine-kill cell proving the maple-dec → sw-dec → do-all ladder
+//! degrades a failing engine mid-tenant without a single corrupted
+//! byte. The gate output contains only host-independent lines (request
+//! counts, latency percentiles, fairness, switch counters and a content
+//! digest), so `scripts/ci.sh` byte-diffs it across `MAPLE_JOBS`
+//! values.
+
+use maple_fleet::{Digest, FleetConfig};
+use maple_serve::oracle::differential_check;
+use maple_serve::{serve, ServeConfig, ServingSummary};
+use maple_workloads::oracle::chaos_schedules;
+
+/// The acceptance grid: every stepper × fast-path × chaos combination,
+/// each as a labelled serving config over the same seeded tenants.
+#[must_use]
+pub fn serve_grid(seed: u64) -> Vec<(String, ServeConfig)> {
+    // One recoverable schedule; the serving driver composes with the
+    // chaos plane's recovery machinery, never with forced retirement.
+    let schedule = chaos_schedules(seed)
+        .into_iter()
+        .find(|s| !s.must_degrade)
+        .expect("a recoverable schedule exists");
+    let mut cells = Vec::new();
+    for (stepper, dense, partitions) in
+        [("skipping", false, 1), ("dense", true, 1), ("part4", false, 4)]
+    {
+        for fast in [false, true] {
+            for chaos in [false, true] {
+                let mut cfg = ServeConfig::quick(seed);
+                cfg.dense = dense;
+                cfg.partitions = partitions;
+                cfg.fast_path = fast;
+                if chaos {
+                    cfg.chaos = Some(schedule.plane.clone());
+                }
+                let label = format!(
+                    "{stepper}/fast={}/chaos={}",
+                    u8::from(fast),
+                    if chaos { schedule.name } else { "none" }
+                );
+                cells.push((label, cfg));
+            }
+        }
+    }
+    cells
+}
+
+fn cell_line(label: &str, s: &ServingSummary) -> String {
+    format!(
+        "serve {label}: requests={} p50={} p99={} max={} fairness={:.3} \
+         switches={} remaps={} descents={}",
+        s.total_requests,
+        s.p50,
+        s.p99,
+        s.max,
+        s.fairness(),
+        s.context_switches,
+        s.remaps,
+        s.ladder_descents()
+    )
+}
+
+/// The serving determinism gate behind the `serve_check` binary: the
+/// full grid through the fleet executor, the engine-kill ladder cell,
+/// and a metrics digest — all host-independent lines.
+///
+/// # Errors
+///
+/// Returns the offending cell and violated invariant on the first
+/// isolation failure, unverified request, or missing degradation.
+pub fn serve_gate(seed: u64) -> Result<String, String> {
+    let cells = serve_grid(seed);
+    let jobs: Vec<_> = cells
+        .iter()
+        .map(|(label, cfg)| {
+            let (label, cfg) = (label.clone(), cfg.clone());
+            move || differential_check(&cfg).map_err(|e| format!("{label}: {e}"))
+        })
+        .collect();
+    let grid = maple_fleet::run_batch(&FleetConfig::from_env(), jobs)
+        .into_results()
+        .map_err(|(i, e)| format!("{}: executor failed: {e}", cells[i].0))?;
+    let mut out = String::from("serve gate\n");
+    let mut d = Digest::new(0x5E12);
+    for ((label, _), res) in cells.iter().zip(grid) {
+        let summary = res?;
+        if !summary.verified {
+            return Err(format!("{label}: session left requests unverified"));
+        }
+        let line = cell_line(label, &summary);
+        d.str(&line);
+        out.push_str(&line);
+        out.push('\n');
+    }
+
+    // Engine failure mid-tenant: the ladder must degrade the dead
+    // engine's dispatches with zero cross-tenant corruption.
+    let mut kill = ServeConfig::quick(seed);
+    kill.kill_engine = Some((6_000, 1));
+    let ks = differential_check(&kill).map_err(|e| format!("kill cell: {e}"))?;
+    if ks.engines_killed != 1 {
+        return Err("kill cell: the engine kill never fired".into());
+    }
+    if ks.degraded_dispatches == 0 {
+        return Err("kill cell: no dispatch degraded after the kill".into());
+    }
+    let kline = format!(
+        "serve kill: engines_killed={} degraded={} descents={} p99={}",
+        ks.engines_killed,
+        ks.degraded_dispatches,
+        ks.ladder_descents(),
+        ks.p99
+    );
+    d.str(&kline);
+    out.push_str(&kline);
+    out.push('\n');
+
+    // Content digest over one representative session's full metrics
+    // snapshot (simulated counters only — nothing host-dependent).
+    let (sim, _) = serve(ServeConfig::quick(seed));
+    d.str(&sim.metrics().to_json().render());
+    out.push_str(&format!(
+        "metrics digest: {:#018x}\nserve ok: bit-exact",
+        d.finish()
+    ));
+    Ok(out)
+}

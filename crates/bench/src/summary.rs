@@ -73,6 +73,39 @@ pub struct FastPathLine {
 /// `BENCH_maple.json` and checked by its `speedup_gate` tag.
 pub const FAST_PATH_SPEEDUP_FLOOR: f64 = 5.0;
 
+/// Tail-latency and virtualization-overhead line for the multi-tenant
+/// serving driver, measured on `maple_serve::ServeConfig::standard`.
+/// Unlike the host-throughput lines every number here is simulated, so
+/// the section is deterministic run to run (the determinism test feeds
+/// a fixed line and expects byte-identical JSON, same as the others).
+#[derive(Debug, Clone, Default)]
+pub struct ServingLine {
+    /// Tenants sharing the engines.
+    pub tenants: usize,
+    /// MAPLE engines being virtualized.
+    pub engines: usize,
+    /// Requests across every tenant's schedule.
+    pub total_requests: u64,
+    /// Requests completed and byte-verified against the host.
+    pub completed: u64,
+    /// Median request latency in serving-clock cycles.
+    pub p50: u64,
+    /// 99th-percentile request latency in serving-clock cycles.
+    pub p99: u64,
+    /// Worst request latency in serving-clock cycles.
+    pub max: u64,
+    /// Per-tenant fairness: max/min completed-throughput ratio.
+    pub fairness: f64,
+    /// Driver context switches (save + remap + restore sequences).
+    pub context_switches: u64,
+    /// Total cycles charged to context switching.
+    pub switch_cycles: u64,
+    /// MMIO page remaps (each broadcasts a TLB shootdown).
+    pub remaps: u64,
+    /// Serving-clock span of the whole session.
+    pub elapsed_vcycles: u64,
+}
+
 /// Host-throughput sweep of the partitioned parallel stepper against the
 /// single-threaded skipping baseline, measured on the scaled stall-heavy
 /// config of `crate::stepper`. Run-to-run varying, like [`HarnessLine`];
@@ -137,6 +170,7 @@ pub fn build_json(
     stepper: Option<&StepperLine>,
     partitioned: Option<&PartitionedLine>,
     fast_path: Option<&FastPathLine>,
+    serving: Option<&ServingLine>,
 ) -> Json {
     let latencies: Vec<(String, Json)> = pairs_of(fig09)
         .into_iter()
@@ -327,6 +361,35 @@ pub fn build_json(
             ]),
         ));
     }
+    if let Some(v) = serving {
+        let overhead = if v.elapsed_vcycles == 0 {
+            0.0
+        } else {
+            v.switch_cycles as f64 / v.elapsed_vcycles as f64
+        };
+        members.push((
+            "serving",
+            Json::obj(vec![
+                (
+                    "benchmark",
+                    Json::from("seeded open-loop SpMV/gather queries"),
+                ),
+                ("tenants", Json::from(v.tenants as u64)),
+                ("engines", Json::from(v.engines as u64)),
+                ("requests", Json::from(v.total_requests)),
+                ("completed", Json::from(v.completed)),
+                ("latency_p50_cycles", Json::from(v.p50)),
+                ("latency_p99_cycles", Json::from(v.p99)),
+                ("latency_max_cycles", Json::from(v.max)),
+                ("fairness_max_over_min", Json::from(v.fairness)),
+                ("context_switches", Json::from(v.context_switches)),
+                ("context_switch_cycles", Json::from(v.switch_cycles)),
+                ("context_switch_overhead", Json::from(overhead)),
+                ("mmio_remaps", Json::from(v.remaps)),
+                ("elapsed_vcycles", Json::from(v.elapsed_vcycles)),
+            ]),
+        ));
+    }
     Json::obj(members)
 }
 
@@ -384,6 +447,24 @@ pub fn readme_throughput_table(doc: &Json) -> String {
                 "compute-heavy ALU".into(),
                 mcy(fast),
                 format!("≈ {:.1}×", fast / interp),
+            ]);
+        }
+    }
+    if let Some(v) = doc.get("serving") {
+        let p50 = v.get("latency_p50_cycles").and_then(Json::as_f64);
+        let p99 = v.get("latency_p99_cycles").and_then(Json::as_f64);
+        let fair = v.get("fairness_max_over_min").and_then(Json::as_f64);
+        if let (Some(p50), Some(p99), Some(fair)) = (p50, p99, fair) {
+            // Serving is a simulated-latency row, not a host-throughput
+            // one: the third column carries the tail-latency digest and
+            // the fourth the tenant-fairness ratio.
+            let tenants = v.get("tenants").and_then(Json::as_f64).unwrap_or(0.0);
+            let engines = v.get("engines").and_then(Json::as_f64).unwrap_or(0.0);
+            rows.push([
+                "multi-tenant serving".into(),
+                format!("{tenants:.0} tenants / {engines:.0} engines"),
+                format!("p50 {p50:.0} / p99 {p99:.0} cycles"),
+                format!("fairness ≈ {fair:.2}×"),
             ]);
         }
     }

@@ -207,7 +207,7 @@ struct LimaChunkRec {
     ready: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LimaActive {
     cmd: LimaCmd,
     /// Next B index to fetch (chunk-granular).
@@ -217,6 +217,87 @@ struct LimaActive {
     /// Index of the next element to process within the head chunk.
     head_pos: u32,
     next_chunk_seq: u64,
+}
+
+/// A saved snapshot of one tenant's architectural engine state: everything
+/// the virtualization driver must save and restore across a context switch
+/// — the queue controller (occupancy, reservations, in-order slots), the
+/// fetch unit (in-flight fetches, buffered produce/consume/prefetch heads),
+/// the LIMA unit, queue ownership, and the MMU view (TLB contents,
+/// page-table root, pending fault).
+///
+/// Physical-engine-resident state is deliberately **not** part of a
+/// context: performance counters, the monotonic transaction-ID allocator,
+/// the response-replay cache, watchdog/fault-plane hooks, and the tracer
+/// all stay with the hardware instance (exactly the state [`Engine::reset`]
+/// preserves), so transactions issued under one tenant can never alias
+/// another tenant's after a switch.
+#[derive(Debug, Clone)]
+pub struct EngineContext {
+    queues: QueueController,
+    tlb: Tlb,
+    page_table: Option<PageTable>,
+    walker_free_at: Cycle,
+    fault: Option<EngineFault>,
+    incoming: DelayQueue<MemReq>,
+    produce_pending: Vec<VecDeque<PendingProduce>>,
+    amo_operand: Vec<u64>,
+    prefetch_pending: VecDeque<PendingProduce>,
+    consume_pending: Vec<VecDeque<PendingConsume>>,
+    open_owner: Vec<Option<Coord>>,
+    out_resp: DelayQueue<OutboundResp>,
+    out_mem: VecDeque<MemReq>,
+    inflight: HashMap<u64, InflightFetch>,
+    lima_regs: (VAddr, VAddr, u32, u32),
+    lima_cmds: VecDeque<LimaCmd>,
+    lima_go_pending: VecDeque<(Coord, u64, LimaCmd)>,
+    lima: Option<LimaActive>,
+    poisoned: bool,
+}
+
+impl EngineContext {
+    /// Outstanding memory fetches captured in this context.
+    #[must_use]
+    pub fn inflight_fetches(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Buffered produce operations captured across all queues.
+    #[must_use]
+    pub fn pending_produces(&self) -> usize {
+        self.produce_pending.iter().map(VecDeque::len).sum()
+    }
+
+    /// Buffered consume operations captured across all queues.
+    #[must_use]
+    pub fn pending_consumes(&self) -> usize {
+        self.consume_pending.iter().map(VecDeque::len).sum()
+    }
+
+    /// Occupancy of every captured hardware queue.
+    #[must_use]
+    pub fn queue_occupancies(&self) -> Vec<usize> {
+        (0..self.queues.count())
+            .map(|q| self.queues.queue(q as u8).occupancy())
+            .collect()
+    }
+
+    /// Whether the captured state holds no in-flight work at all — the
+    /// cheap-switch case: restoring a quiescent context cannot be starved
+    /// by responses that raced a switch-out.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.incoming.is_empty()
+            && self.inflight.is_empty()
+            && self.out_mem.is_empty()
+            && self.out_resp.is_empty()
+            && self.lima.is_none()
+            && self.lima_cmds.is_empty()
+            && self.lima_go_pending.is_empty()
+            && self.produce_pending.iter().all(VecDeque::is_empty)
+            && self.prefetch_pending.is_empty()
+            && self.consume_pending.iter().all(VecDeque::is_empty)
+    }
 }
 
 /// The MAPLE engine. Wire it to a tile: deliver incoming MMIO requests with
@@ -430,6 +511,85 @@ impl Engine {
         self.seen_order = seen_order;
         self.watchdog = watchdog;
         self.ack_fault = ack_fault;
+    }
+
+    /// Captures the tenant-visible architectural state for a driver-level
+    /// context switch. The engine itself is unchanged; pair with
+    /// [`Engine::restore_context`] (for the incoming tenant) or
+    /// [`Engine::reset`] (for a fresh one) to complete the switch.
+    #[must_use]
+    pub fn save_context(&self) -> EngineContext {
+        EngineContext {
+            queues: self.queues.clone(),
+            tlb: self.tlb.clone(),
+            page_table: self.page_table,
+            walker_free_at: self.walker_free_at,
+            fault: self.fault,
+            incoming: self.incoming.clone(),
+            produce_pending: self.produce_pending.clone(),
+            amo_operand: self.amo_operand.clone(),
+            prefetch_pending: self.prefetch_pending.clone(),
+            consume_pending: self.consume_pending.clone(),
+            open_owner: self.open_owner.clone(),
+            out_resp: self.out_resp.clone(),
+            out_mem: self.out_mem.clone(),
+            inflight: self.inflight.clone(),
+            lima_regs: self.lima_regs,
+            lima_cmds: self.lima_cmds.clone(),
+            lima_go_pending: self.lima_go_pending.clone(),
+            lima: self.lima.clone(),
+            poisoned: self.poisoned,
+        }
+    }
+
+    /// Installs a previously saved tenant context, replacing the current
+    /// architectural state bit for bit. Physical-engine state (counters,
+    /// transaction-ID allocator, replay cache, watchdog/fault hooks,
+    /// tracer) is untouched — see [`EngineContext`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context was captured from an engine with a different
+    /// queue count (contexts are not portable across RTL configurations).
+    pub fn restore_context(&mut self, ctx: EngineContext) {
+        assert_eq!(
+            ctx.queues.count(),
+            self.cfg.queues,
+            "engine context restored onto an incompatible configuration"
+        );
+        self.queues = ctx.queues;
+        self.tlb = ctx.tlb;
+        self.page_table = ctx.page_table;
+        self.walker_free_at = ctx.walker_free_at;
+        self.fault = ctx.fault;
+        self.incoming = ctx.incoming;
+        self.produce_pending = ctx.produce_pending;
+        self.amo_operand = ctx.amo_operand;
+        self.prefetch_pending = ctx.prefetch_pending;
+        self.consume_pending = ctx.consume_pending;
+        self.open_owner = ctx.open_owner;
+        self.out_resp = ctx.out_resp;
+        self.out_mem = ctx.out_mem;
+        self.inflight = ctx.inflight;
+        self.lima_regs = ctx.lima_regs;
+        self.lima_cmds = ctx.lima_cmds;
+        self.lima_go_pending = ctx.lima_go_pending;
+        self.lima = ctx.lima;
+        self.poisoned = ctx.poisoned;
+    }
+
+    /// Drops every entry of the MMIO replay (dedup) cache.
+    ///
+    /// The cache makes in-run core-side retries idempotent; its keys are
+    /// `(core tile, L1 transaction id)`, and a freshly (re)loaded core
+    /// restarts its transaction ids from zero. The serving driver
+    /// therefore flushes the cache at batch boundaries — quiescent points
+    /// with no outstanding transactions, so no retry can ever need a
+    /// dropped entry, while a stale entry would wrongly replay a previous
+    /// request's response to a new core with a recycled id.
+    pub fn flush_replay_cache(&mut self) {
+        self.seen.clear();
+        self.seen_order.clear();
     }
 
     /// Engine statistics.

@@ -43,4 +43,4 @@ pub mod queue;
 #[cfg(test)]
 mod tests;
 
-pub use engine::{Engine, EngineFault, EngineStats, MapleConfig};
+pub use engine::{Engine, EngineContext, EngineFault, EngineStats, MapleConfig};

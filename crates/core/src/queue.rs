@@ -38,7 +38,7 @@ impl std::error::Error for QueueError {}
 pub struct Slot(pub u64);
 
 /// One circular FIFO.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FifoQueue {
     /// (sequence, value-if-arrived) in FIFO order.
     slots: VecDeque<(u64, Option<u64>)>,
@@ -182,7 +182,7 @@ impl FifoQueue {
 
 /// The queue controller: all FIFOs of one MAPLE instance sharing a
 /// scratchpad budget.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct QueueController {
     queues: Vec<FifoQueue>,
     scratchpad_bytes: u64,

@@ -844,6 +844,126 @@ fn duplicate_of_inflight_request_is_dropped() {
     assert_eq!(b.engine.queue(0).consumed.get(), 1, "popped exactly once");
 }
 
+// ---------------------------------------------------------------------------
+// Engine virtualization: context save/restore
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mid_fetch_context_switch_round_trips_exactly() {
+    // Tenant A is caught mid-flight: pointer fetches outstanding in DRAM,
+    // an immediate value already enqueued behind the reserved slots, and
+    // a consume buffered against an empty queue. Saving the context,
+    // running tenant B on the bare engine, and restoring A must bring
+    // back queue occupancy and in-flight fetch state bit for bit — and
+    // the restored fetches must still complete in program order.
+    let mut b = Bench::new(MapleConfig::default());
+    let pa = b.map(0x4000_0000, 1);
+    for i in 0..3u64 {
+        b.mem.write_u32(pa.offset(i * 4), (900 + i) as u32);
+    }
+    for i in 0..3u64 {
+        let id = b.store(StoreOp::ProducePtr, 0, 0x4000_0000 + i * 4);
+        b.run_until_ack(id, 200);
+    }
+    let imm = b.store(StoreOp::Produce, 0, 77);
+    b.run_until_ack(imm, 200);
+    let c1 = b.load(LoadOp::Consume, 1, 4);
+    b.run(20); // decode the consume; queue 1 stays empty so it buffers
+    assert_eq!(b.engine.inflight_fetches(), 3, "fetches still in DRAM");
+    assert_eq!(b.engine.pending_consumes(), 1);
+    let occupancies = b.engine.queue_occupancies();
+    assert_eq!(occupancies[0], 4, "3 reserved slots + 1 filled");
+
+    let ctx = b.engine.save_context();
+    assert_eq!(ctx.inflight_fetches(), 3);
+    assert_eq!(ctx.pending_produces(), 0);
+    assert_eq!(ctx.pending_consumes(), 1);
+    assert_eq!(ctx.queue_occupancies(), occupancies);
+    assert!(!ctx.is_quiescent());
+
+    // Tenant B gets the bare engine. Pump the engine alone (no L2) so
+    // A's DRAM responses stay parked until A is switched back in.
+    b.engine.reset();
+    assert_eq!(b.engine.inflight_fetches(), 0);
+    assert_eq!(b.engine.queue_occupancies()[0], 0);
+    let bp = b.store(StoreOp::Produce, 0, 5555);
+    let bc = b.load(LoadOp::Consume, 0, 4);
+    for _ in 0..100 {
+        b.engine.tick(b.now, &b.mem);
+        assert!(
+            b.engine.pop_mem_request().is_none(),
+            "tenant B is pure immediate traffic"
+        );
+        while let Some(r) = b.engine.pop_response(b.now) {
+            b.acks.push((r.resp.id, r.resp.data));
+        }
+        b.now += 1;
+    }
+    assert!(b.ack_of(bp).is_some());
+    assert_eq!(b.ack_of(bc), Some(5555), "tenant B ran on the bare engine");
+
+    // Switch A back in: every observable must match the snapshot.
+    b.engine.restore_context(ctx.clone());
+    assert_eq!(b.engine.inflight_fetches(), 3);
+    assert_eq!(b.engine.pending_consumes(), 1);
+    assert_eq!(b.engine.queue_occupancies(), occupancies);
+
+    // A's parked DRAM responses now land in the restored slots; the
+    // consume stream observes program order across the switch.
+    for i in 0..3u64 {
+        let c = b.load(LoadOp::Consume, 0, 4);
+        assert_eq!(b.run_until_ack(c, 10_000), 900 + i, "position {i}");
+    }
+    let c = b.load(LoadOp::Consume, 0, 4);
+    assert_eq!(b.run_until_ack(c, 10_000), 77, "immediate behind the ptrs");
+    // The buffered consume on queue 1 survived the round trip too.
+    let p1 = b.store(StoreOp::Produce, 1, 31);
+    b.run_until_ack(p1, 200);
+    assert_eq!(b.run_until_ack(c1, 200), 31);
+}
+
+#[test]
+fn two_tenant_contexts_keep_queue_contents_isolated() {
+    let mut b = Bench::new(MapleConfig::default());
+    // Tenant A enqueues 10, 11.
+    for v in [10u64, 11] {
+        let id = b.store(StoreOp::Produce, 0, v);
+        b.run_until_ack(id, 200);
+    }
+    let ctx_a = b.engine.save_context();
+    // Tenant B starts fresh and enqueues 20.
+    b.engine.reset();
+    let id = b.store(StoreOp::Produce, 0, 20);
+    b.run_until_ack(id, 200);
+    let ctx_b = b.engine.save_context();
+    assert!(ctx_b.is_quiescent(), "drained tenant saves a quiescent context");
+
+    // A drains its own values, untouched by B's occupancy.
+    b.engine.restore_context(ctx_a);
+    assert_eq!(b.engine.queue_occupancies()[0], 2);
+    for v in [10u64, 11] {
+        let c = b.load(LoadOp::Consume, 0, 4);
+        assert_eq!(b.run_until_ack(c, 200), v);
+    }
+    // B's single entry is exactly where it left it.
+    b.engine.restore_context(ctx_b);
+    assert_eq!(b.engine.queue_occupancies()[0], 1);
+    let c = b.load(LoadOp::Consume, 0, 4);
+    assert_eq!(b.run_until_ack(c, 200), 20);
+}
+
+#[test]
+#[should_panic(expected = "incompatible configuration")]
+fn context_restore_rejects_mismatched_queue_count() {
+    let small = Engine::new(MapleConfig {
+        queues: 4,
+        ..MapleConfig::default()
+    });
+    let ctx = small.save_context();
+    let mut full = Engine::new(MapleConfig::default());
+    full.restore_context(ctx);
+}
+
 #[test]
 fn ack_loss_schedule_drops_responses_at_source() {
     let mut b = Bench::new(MapleConfig::default());

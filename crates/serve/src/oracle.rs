@@ -1,0 +1,96 @@
+//! The multi-tenant differential oracle.
+//!
+//! Sharing one SoC between tenants must never change what any tenant
+//! computes. The oracle proves it the strong way: run the full
+//! multi-tenant session (chaos, kills and all), then re-run **each
+//! tenant solo on a clean system** — same spec, same seeded request
+//! stream, no other tenants, no faults — and demand that every
+//! request's output bytes are identical in both runs *and* equal to the
+//! host reference. Any cross-tenant corruption (a stale replay-cache
+//! hit, a leaked queue entry, a stale MMIO translation after a remap)
+//! shows up as a byte diff on some request.
+//!
+//! The check is stepper-agnostic on purpose: the caller picks dense /
+//! skipping / partitioned and fast-path on or off through
+//! [`ServeConfig`], and the `serve_check` CI gate byte-diffs the whole
+//! grid across `MAPLE_JOBS` values.
+
+use crate::sim::{serve, ServeConfig, ServingSummary};
+
+/// Runs the multi-tenant session and the per-tenant solo sessions,
+/// byte-comparing every request's output.
+///
+/// Returns the multi-tenant summary on success.
+///
+/// # Errors
+///
+/// Returns which tenant and request diverged (or failed verification)
+/// on the first violation.
+pub fn differential_check(cfg: &ServeConfig) -> Result<ServingSummary, String> {
+    let (multi, summary) = serve(cfg.clone());
+    if !summary.verified {
+        let missing = summary.total_requests - summary.completed;
+        return Err(format!(
+            "multi-tenant session left {missing} requests unverified"
+        ));
+    }
+    for (t, spec) in cfg.tenants.iter().enumerate() {
+        let mut solo_cfg = cfg.clone();
+        solo_cfg.tenants = vec![spec.clone()];
+        solo_cfg.chaos = None;
+        solo_cfg.kill_engine = None;
+        let (solo, solo_summary) = serve(solo_cfg);
+        if !solo_summary.verified {
+            return Err(format!("solo run of tenant {} failed to verify", spec.name));
+        }
+        let shared = &multi.outputs()[t];
+        let alone = &solo.outputs()[0];
+        for (i, (a, b)) in shared.iter().zip(alone).enumerate() {
+            if a != b {
+                return Err(format!(
+                    "tenant {} request {i}: multi-tenant output diverged from solo run",
+                    spec.name
+                ));
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maple_workloads::oracle::chaos_schedules;
+
+    #[test]
+    fn quick_grid_is_isolation_clean() {
+        let cfg = ServeConfig::quick(42);
+        let summary = differential_check(&cfg).expect("skipping stepper");
+        assert!(summary.verified);
+        assert_eq!(summary.completed, summary.total_requests);
+
+        let mut dense = ServeConfig::quick(42);
+        dense.dense = true;
+        differential_check(&dense).expect("dense stepper");
+    }
+
+    #[test]
+    fn chaos_session_stays_isolated() {
+        // A recoverable schedule: the recovery machinery must absorb the
+        // faults without a single cross-tenant byte flip.
+        let mut cfg = ServeConfig::quick(7);
+        cfg.chaos = Some(chaos_schedules(7)[0].plane.clone());
+        let summary = differential_check(&cfg).expect("recoverable chaos");
+        assert!(summary.verified);
+    }
+
+    #[test]
+    fn engine_kill_degrades_without_corruption() {
+        let mut cfg = ServeConfig::quick(13);
+        cfg.kill_engine = Some((4_000, 1));
+        let summary = differential_check(&cfg).expect("engine kill");
+        assert_eq!(summary.engines_killed, 1);
+        assert!(summary.degraded_dispatches > 0, "dead engine lanes served sw-dec");
+        assert!(summary.verified);
+    }
+}

@@ -110,6 +110,16 @@ struct Pending<T> {
     msg: T,
 }
 
+impl<T: Clone> Clone for Pending<T> {
+    fn clone(&self) -> Self {
+        Pending {
+            deliver_at: self.deliver_at,
+            seq: self.seq,
+            msg: self.msg.clone(),
+        }
+    }
+}
+
 impl<T> PartialEq for Pending<T> {
     fn eq(&self, other: &Self) -> bool {
         self.deliver_at == other.deliver_at && self.seq == other.seq
@@ -152,6 +162,15 @@ impl<T> Ord for Pending<T> {
 pub struct DelayQueue<T> {
     heap: BinaryHeap<Pending<T>>,
     next_seq: u64,
+}
+
+impl<T: Clone> Clone for DelayQueue<T> {
+    fn clone(&self) -> Self {
+        DelayQueue {
+            heap: self.heap.clone(),
+            next_seq: self.next_seq,
+        }
+    }
 }
 
 impl<T> std::fmt::Debug for DelayQueue<T> {

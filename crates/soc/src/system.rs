@@ -170,6 +170,10 @@ pub struct System {
     /// Per-engine, per-queue occupancy samples (taken every
     /// [`OCCUPANCY_SAMPLE_PERIOD`] cycles).
     occupancy: Vec<Vec<maple_sim::stats::Histogram>>,
+    /// Live user VA of each mapped MAPLE page (hub copy, tracked whether
+    /// or not the chaos plane is active) — the remap/unmap primitives of
+    /// the serving driver's engine virtualization key off this.
+    maple_user_vas: Vec<Option<VAddr>>,
     /// Fault-injection plane state; `None` keeps the run fault-free with
     /// zero timing perturbation.
     chaos: Option<ChaosState>,
@@ -274,6 +278,7 @@ impl System {
             occupancy: (0..cfg.maples)
                 .map(|_| vec![maple_sim::stats::Histogram::new(); maple_cfg.queues])
                 .collect(),
+            maple_user_vas: vec![None; cfg.maples],
             chaos,
             poisoned_mirror: vec![false; cfg.maples],
             tracer,
@@ -375,10 +380,133 @@ impl System {
             .aspace
             .map_device(&mut self.mem, &mut self.frames, page);
         self.engines[i].set_page_table(self.aspace.page_table());
+        self.maple_user_vas[i] = Some(va);
         if let Some(chaos) = &mut self.chaos {
             chaos.maple_vas[i] = Some(va);
         }
         va
+    }
+
+    // --- engine virtualization (multi-tenant serving driver) --------------
+
+    /// The live user VA of MAPLE instance `i`'s MMIO page, if mapped.
+    #[must_use]
+    pub fn maple_va(&self, i: usize) -> Option<VAddr> {
+        self.maple_user_vas[i]
+    }
+
+    /// Moves MAPLE instance `i`'s MMIO page to a fresh user VA: the old
+    /// mapping is destroyed, a new one is bump-allocated, and the
+    /// matching shootdown is broadcast to every core and engine TLB so no
+    /// stale translation can serve a post-remap request. This is the
+    /// context-switch remap of the serving driver — the page the next
+    /// tenant's program addresses is never the one the previous tenant
+    /// held. Returns the new VA.
+    ///
+    /// Must be called between runs (the driver's context-switch point),
+    /// not from inside a stepping loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if instance `i` was never mapped.
+    pub fn remap_maple(&mut self, i: usize) -> VAddr {
+        let old = self.maple_user_vas[i].expect("remap of an unmapped MAPLE instance");
+        assert!(self.aspace.unmap(&mut self.mem, old), "stale maple VA record");
+        for c in &mut self.cores {
+            c.tlb_shootdown(old.page());
+        }
+        for e in &mut self.engines {
+            e.tlb_shootdown(old.page());
+        }
+        let page = PAddr(self.cfg.maple_page(i));
+        let va = self
+            .aspace
+            .map_device(&mut self.mem, &mut self.frames, page);
+        self.maple_user_vas[i] = Some(va);
+        if let Some(chaos) = &mut self.chaos {
+            chaos.maple_vas[i] = Some(va);
+        }
+        va
+    }
+
+    /// Administratively unmaps MAPLE instance `i` (the driver retiring an
+    /// instance, e.g. after a mid-tenant engine failure), with the same
+    /// shootdown broadcast as [`System::remap_maple`]. Returns whether a
+    /// mapping existed. Subsequent requests must be served by a software
+    /// path — the fallback ladder's concern, not this primitive's.
+    pub fn unmap_maple(&mut self, i: usize) -> bool {
+        let Some(old) = self.maple_user_vas[i].take() else {
+            return false;
+        };
+        self.aspace.unmap(&mut self.mem, old);
+        for c in &mut self.cores {
+            c.tlb_shootdown(old.page());
+        }
+        for e in &mut self.engines {
+            e.tlb_shootdown(old.page());
+        }
+        if let Some(chaos) = &mut self.chaos {
+            chaos.maple_vas[i] = None;
+        }
+        true
+    }
+
+    /// Saves engine `i`'s tenant-visible architectural state (queues,
+    /// TLB, in-flight fetches, pending operations) for a later
+    /// [`System::restore_engine_context`]. The engine is not modified.
+    #[must_use]
+    pub fn save_engine_context(&self, i: usize) -> maple_core::EngineContext {
+        self.engines[i].save_context()
+    }
+
+    /// Restores a context saved by [`System::save_engine_context`] onto
+    /// engine `i`, completing a tenant context switch. Physical-engine
+    /// state (statistics, transaction-ID allocator, replay cache) is
+    /// deliberately not part of the context — see
+    /// [`maple_core::EngineContext`].
+    pub fn restore_engine_context(&mut self, i: usize, ctx: maple_core::EngineContext) {
+        self.engines[i].restore_context(ctx);
+    }
+
+    /// Resets engine `i` to pristine tenant-visible state — the context
+    /// switch onto a tenant that has no saved context yet.
+    pub fn reset_engine(&mut self, i: usize) {
+        self.engines[i].reset();
+    }
+
+    /// Flushes every engine's MMIO replay cache. A driver step at serving
+    /// batch boundaries: reloaded cores restart their L1 transaction ids,
+    /// so a stale completed entry keyed by `(tile, id)` would wrongly
+    /// replay a previous request's response. Only valid at quiescence (no
+    /// outstanding MMIO transactions) — which batch completion guarantees.
+    pub fn flush_engine_replay_caches(&mut self) {
+        for e in &mut self.engines {
+            e.flush_replay_cache();
+        }
+    }
+
+    /// Replaces the program on an already-loaded core, re-arming it for
+    /// another run: fresh architectural state, same trace ring, current
+    /// page table. The serving scheduler uses this to dispatch a new
+    /// request onto a core whose previous request has halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if core `idx` was never loaded or is DeSC-paired (paired
+    /// cores share queue state a reload would orphan).
+    pub fn reload_core(&mut self, idx: usize, program: Program, args: &[(Reg, u64)]) {
+        assert!(idx < self.cores.len(), "core {idx} was never loaded");
+        assert!(
+            self.desc_pair[idx].is_none(),
+            "cannot reload a DeSC-paired core"
+        );
+        let mut core = Core::new(idx, self.cfg.cpu, program, self.aspace.page_table());
+        core.set_tracer(self.core_rings[idx].clone());
+        for &(r, v) in args {
+            core.set_reg(r, v);
+        }
+        self.cores[idx] = core;
+        self.faults_in_service[idx] = false;
     }
 
     /// Loads `program` onto the next free core; returns the core index.

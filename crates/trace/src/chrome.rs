@@ -20,6 +20,7 @@ const PID_CORES: u64 = 0;
 const PID_ENGINES: u64 = 1;
 const PID_NOC: u64 = 2;
 const PID_FAULTS: u64 = 3;
+const PID_SERVE: u64 = 4;
 
 fn event_json(
     name: &str,
@@ -175,6 +176,36 @@ pub fn record_json(rec: &TraceRecord) -> Json {
             1,
             vec![("kind", Json::from("recovered"))],
         ),
+        // One row per engine on the serving process: switches render as
+        // spans covering the charged overhead, dispatches as instants, so
+        // Perfetto shows tenant interleaving per engine at a glance.
+        TraceEvent::ServeSwitch {
+            engine,
+            tenant,
+            cost,
+        } => complete_event(
+            "ctx-switch",
+            ts,
+            cost,
+            PID_SERVE,
+            engine as u64,
+            vec![("tenant", Json::from(tenant))],
+        ),
+        TraceEvent::ServeDispatch {
+            engine,
+            tenant,
+            rung,
+        } => event_json(
+            &format!("t{tenant}"),
+            "i",
+            ts,
+            PID_SERVE,
+            engine as u64,
+            vec![
+                ("tenant", Json::from(tenant)),
+                ("rung", Json::from(u64::from(rung))),
+            ],
+        ),
     }
 }
 
@@ -186,6 +217,7 @@ pub fn chrome_trace(records: &[TraceRecord]) -> Json {
         process_name(PID_ENGINES, "maple engines"),
         process_name(PID_NOC, "noc"),
         process_name(PID_FAULTS, "fault plane"),
+        process_name(PID_SERVE, "serving"),
     ];
     events.extend(records.iter().map(record_json));
     Json::obj(vec![
@@ -246,10 +278,10 @@ mod tests {
         ];
         let doc = chrome_trace(&records);
         let events = doc.get("traceEvents").unwrap().as_array().unwrap();
-        // 4 process-name metadata events + 4 records.
-        assert_eq!(events.len(), 8);
+        // 5 process-name metadata events + 4 records.
+        assert_eq!(events.len(), 9);
         // The fill renders as a complete event starting latency earlier.
-        let fill = &events[6];
+        let fill = &events[7];
         assert_eq!(fill.get("ph").unwrap().as_str(), Some("X"));
         assert_eq!(fill.get("ts").unwrap().as_u64(), Some(20));
         assert_eq!(fill.get("dur").unwrap().as_u64(), Some(30));

@@ -196,6 +196,28 @@ pub enum TraceEvent {
         /// Which site.
         site: FaultSite,
     },
+    /// The serving driver context-switched an engine to a different
+    /// tenant (architectural state save/restore plus MMIO page remap
+    /// with TLB shootdown).
+    ServeSwitch {
+        /// Engine instance that was switched.
+        engine: usize,
+        /// Tenant now occupying the engine.
+        tenant: u64,
+        /// Cycles charged for the switch (save/restore + remap + IPI).
+        cost: u64,
+    },
+    /// The serving scheduler dispatched one request batch lane.
+    ServeDispatch {
+        /// Engine instance the lane's queue lives on (the lane's cores
+        /// are derived from it).
+        engine: usize,
+        /// Tenant whose request runs on the lane.
+        tenant: u64,
+        /// Fallback-ladder rung the request runs at (0 = maple-dec,
+        /// 1 = sw-dec, 2 = do-all).
+        rung: u8,
+    },
 }
 
 impl TraceEvent {
@@ -213,6 +235,8 @@ impl TraceEvent {
             TraceEvent::MmioComplete { .. } => "mmio",
             TraceEvent::FaultInjected { .. } => "fault-injected",
             TraceEvent::FaultRecovered { .. } => "fault-recovered",
+            TraceEvent::ServeSwitch { .. } => "serve-switch",
+            TraceEvent::ServeDispatch { .. } => "serve-dispatch",
         }
     }
 }

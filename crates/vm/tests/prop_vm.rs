@@ -138,6 +138,85 @@ fn tlb_never_serves_stale_translations() {
 }
 
 #[test]
+fn tlb_shootdown_on_device_remap_never_serves_stale() {
+    // The serving driver's engine-remap flow: an MMIO page moves to a new
+    // VA (unmap old + map new + shootdown broadcast to every core and
+    // engine TLB). Under random interleavings of remaps and accesses
+    // through several independent TLBs, no post-remap access may ever be
+    // served by a stale translation — neither at the retired VA (it must
+    // fault) nor at the live VA (it must reach the current frame).
+    let ops_gen = gen::vec_of((gen::u64_in(0..4), gen::u64_in(0..3), gen::bools()), 0, 160);
+    check(
+        &Config::new("tlb_shootdown_on_device_remap_never_serves_stale"),
+        &ops_gen,
+        |ops| {
+            let mut mem = PhysMem::new();
+            let mut frames = FrameAllocator::new(PAddr(0x100_0000), 32 << 20);
+            let mut pt = PageTable::new(&mut mem, &mut frames);
+            // 3 TLBs: two "cores" and one "engine", all caching one table.
+            let mut tlbs = vec![Tlb::new(16), Tlb::new(16), Tlb::new(4)];
+            // 4 devices, each with a fixed frame and a movable VA. VAs are
+            // bump-allocated from a window no data mapping uses.
+            let dev_frames: Vec<PAddr> = (0..4).map(|_| frames.alloc(&mut mem)).collect();
+            let mut dev_vpn = [0u64; 4];
+            let mut next_vpn = 0x400u64;
+            for (d, &frame) in dev_frames.iter().enumerate() {
+                dev_vpn[d] = next_vpn;
+                next_vpn += 1;
+                pt.map(&mut mem, &mut frames, VAddr(dev_vpn[d] * PAGE_SIZE), frame, PageFlags::device());
+            }
+            for &(dev, tlb_i, remap) in ops {
+                let d = dev as usize;
+                if remap {
+                    // Driver remap: retire the old VA, bump-allocate a new
+                    // one, broadcast the shootdown for the retired page.
+                    let old = VirtPage(dev_vpn[d]);
+                    tk_assert!(pt.unmap(&mut mem, VAddr(old.0 * PAGE_SIZE)));
+                    dev_vpn[d] = next_vpn;
+                    next_vpn += 1;
+                    pt.map(
+                        &mut mem,
+                        &mut frames,
+                        VAddr(dev_vpn[d] * PAGE_SIZE),
+                        dev_frames[d],
+                        PageFlags::device(),
+                    );
+                    for t in &mut tlbs {
+                        t.shootdown(old);
+                    }
+                }
+                // Access the device through one TLB at its live VA, and
+                // probe every TLB for all retired VPNs of this device.
+                let live = VirtPage(dev_vpn[d]);
+                let t = &mut tlbs[tlb_i as usize];
+                let frame = match t.lookup(live) {
+                    Some(e) => e.frame,
+                    None => {
+                        let tr = pt.translate(&mem, VAddr(live.0 * PAGE_SIZE));
+                        let tr = tr.expect("live device VA must be mapped");
+                        t.insert(live, tr.paddr, PageFlags::device());
+                        tr.paddr
+                    }
+                };
+                tk_assert_eq!(frame, dev_frames[d], "live VA serves the device frame");
+                for t in &tlbs {
+                    for vpn in 0x400..dev_vpn[d] {
+                        if dev_vpn.contains(&vpn) {
+                            continue; // another device's live VA
+                        }
+                        tk_assert!(
+                            t.probe(VirtPage(vpn)).is_none(),
+                            "retired VA {vpn:#x} still cached after shootdown"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn walk_reads_go_through_simulated_memory() {
     // Corrupting the page-table bytes in memory corrupts translation —
     // proof the walker really reads the simulated table.

@@ -86,6 +86,10 @@ pub struct FaultReport {
     /// truth for "which attempt was this", so reports never have to
     /// reverse-engineer it from variant labels.
     pub ladder_rung: u64,
+    /// Tenant whose request this run served, when dispatched by the
+    /// multi-tenant serving scheduler (`None` for batch runs). A ladder
+    /// descent's report therefore names the tenant that triggered it.
+    pub tenant: Option<u64>,
 }
 
 impl FaultReport {
@@ -341,6 +345,22 @@ pub fn run_with_fallback(
     mut run: impl FnMut(Variant, usize) -> RunStats,
 ) -> FallbackOutcome {
     continue_fallback(requested, threads, None, &mut run)
+}
+
+/// [`run_with_fallback`] on behalf of a serving tenant: every attempt's
+/// [`FaultReport`] is tagged with `tenant`, so a degradation report names
+/// the tenant whose request triggered the descent.
+pub fn run_with_fallback_for_tenant(
+    tenant: u64,
+    requested: Variant,
+    threads: usize,
+    mut run: impl FnMut(Variant, usize) -> RunStats,
+) -> FallbackOutcome {
+    let mut out = continue_fallback(requested, threads, None, &mut run);
+    for (_, stats) in &mut out.attempts {
+        stats.faults.tenant = Some(tenant);
+    }
+    out
 }
 
 /// The tail of [`run_with_fallback`] with the first rung's result

@@ -12,6 +12,7 @@ mod edge_tests;
 pub mod harness;
 pub mod oracle;
 pub mod sdhp;
+pub mod slice;
 pub mod spmm;
 pub mod spmv;
 

@@ -147,6 +147,23 @@ fi
 grep -q "fast-path ok: bit-exact" target/fast_path_gate_jobs1.txt
 echo "    $(tail -n 1 target/fast_path_gate_jobs1.txt), identical at 1 and 4 workers"
 
+echo "==> serving: multi-tenant oracle grid must be bit-exact at any worker count"
+# The serving gate runs the multi-tenant differential oracle over every
+# stepper × fast-path × chaos cell plus the engine-kill ladder cell,
+# printing only host-independent lines (percentiles, fairness, switch
+# counters, a metrics digest). Byte-diffing across MAPLE_JOBS values
+# proves tenant isolation holds regardless of fleet parallelism.
+MAPLE_JOBS=1 cargo run --offline --release -q -p maple-bench --bin serve_check \
+    > target/serve_gate_jobs1.txt
+MAPLE_JOBS=4 cargo run --offline --release -q -p maple-bench --bin serve_check \
+    > target/serve_gate_jobs4.txt
+if ! diff target/serve_gate_jobs1.txt target/serve_gate_jobs4.txt; then
+    echo "ERROR: serving gate output differs between MAPLE_JOBS=1 and =4" >&2
+    exit 1
+fi
+grep -q "serve ok: bit-exact" target/serve_gate_jobs1.txt
+echo "    $(tail -n 1 target/serve_gate_jobs1.txt), identical at 1 and 4 workers"
+
 echo "==> stepper: partitioned throughput floor (skipped honestly on 1-core hosts)"
 # The speedup expectation is host-dependent: a 1-core container pins the
 # parallel stepper at ~1.0x no matter the partition count, so the gate

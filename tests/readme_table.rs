@@ -45,6 +45,7 @@ fn rendered_table_has_a_row_per_recorded_section() {
     for (section, label) in [
         ("stepper", "event-horizon skipping"),
         ("stepper_fast_path", "skipping + compiled fast path"),
+        ("serving", "multi-tenant serving"),
     ] {
         assert_eq!(
             doc.get(section).is_some(),
