@@ -60,8 +60,8 @@ fn run_noc_4x4_saturated_1k_ticks() -> u64 {
     let mut now = Cycle::ZERO;
     let mut delivered = 0u64;
     for step in 0..1000u64 {
-        let src = Coord::new((step % 4) as u8, ((step / 4) % 4) as u8);
-        let dst = Coord::new(((step + 2) % 4) as u8, ((step / 2) % 4) as u8);
+        let src = Coord::new((step % 4) as u16, ((step / 4) % 4) as u16);
+        let dst = Coord::new(((step + 2) % 4) as u16, ((step / 2) % 4) as u16);
         let _ = mesh.inject(now, src, dst, 2, step as u32);
         mesh.tick(now);
         for y in 0..4 {

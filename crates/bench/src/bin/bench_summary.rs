@@ -13,10 +13,12 @@ use std::path::PathBuf;
 
 use maple_bench::experiments::{decoupling_suite, prefetch_suite, prior_work_suite, FleetLine};
 use maple_bench::rtt::measure_roundtrip;
+use maple_bench::scaling::{scaling_sweep, SCALE_TILES};
 use maple_bench::stepper::{fast_path_comparison, partitioned_sweep, stall_heavy_comparison};
 use maple_bench::summary::{
-    build_json, readme_throughput_table, FastPathLine, HarnessLine, PartitionedLine, ServingLine,
-    StepperLine, README_TABLE_BEGIN, README_TABLE_END,
+    build_json, readme_scaling_table, readme_throughput_table, FastPathLine, HarnessLine,
+    PartitionedLine, ServingLine, StepperLine, README_SCALING_BEGIN, README_SCALING_END,
+    README_TABLE_BEGIN, README_TABLE_END,
 };
 use maple_serve::{serve, ServeConfig};
 use maple_soc::config::SocConfig;
@@ -24,23 +26,42 @@ use maple_soc::config::SocConfig;
 /// Rewrites the generated throughput block of `README.md` in place from
 /// the freshly built document; leaves the file untouched (and warns)
 /// when the markers are missing.
+fn rewrite_block(text: &str, begin_marker: &str, end_marker: &str, body: &str) -> Option<String> {
+    let (begin, end) = (text.find(begin_marker)?, text.find(end_marker)?);
+    let mut out = text[..begin + begin_marker.len()].to_string();
+    out.push('\n');
+    out.push_str(body);
+    out.push_str(&text[end..]);
+    Some(out)
+}
+
 fn rewrite_readme_table(readme: &PathBuf, doc: &maple_trace::Json) {
     let Ok(text) = fs::read_to_string(readme) else {
         eprintln!("[bench_summary] README.md not found; skipping table rewrite");
         return;
     };
-    let (Some(begin), Some(end)) = (text.find(README_TABLE_BEGIN), text.find(README_TABLE_END))
-    else {
-        eprintln!("[bench_summary] README.md throughput markers missing; skipping rewrite");
-        return;
-    };
-    let mut out = text[..begin + README_TABLE_BEGIN.len()].to_string();
-    out.push('\n');
-    out.push_str(&readme_throughput_table(doc));
-    out.push_str(&text[end..]);
+    let mut out = text.clone();
+    match rewrite_block(
+        &out,
+        README_TABLE_BEGIN,
+        README_TABLE_END,
+        &readme_throughput_table(doc),
+    ) {
+        Some(next) => out = next,
+        None => eprintln!("[bench_summary] README.md throughput markers missing; skipping rewrite"),
+    }
+    match rewrite_block(
+        &out,
+        README_SCALING_BEGIN,
+        README_SCALING_END,
+        &readme_scaling_table(doc),
+    ) {
+        Some(next) => out = next,
+        None => eprintln!("[bench_summary] README.md scaling markers missing; skipping rewrite"),
+    }
     if out != text {
         fs::write(readme, out).expect("rewrite README.md");
-        eprintln!("[bench_summary] README.md throughput table rewritten");
+        eprintln!("[bench_summary] README.md generated tables rewritten");
     }
 }
 
@@ -115,6 +136,9 @@ fn main() {
             .collect(),
     };
 
+    eprintln!("[bench_summary] measuring hierarchical-fabric scaling sweep...");
+    let scaling = scaling_sweep(&SCALE_TILES, 0x5CA1E);
+
     eprintln!("[bench_summary] measuring multi-tenant serving tail latency...");
     let serve_cfg = ServeConfig::standard(0x57E9);
     let (tenants, engines) = (serve_cfg.tenants.len(), serve_cfg.maples);
@@ -156,6 +180,7 @@ fn main() {
         Some(&partitioned),
         Some(&fast_path),
         Some(&serving),
+        Some(&scaling),
     );
 
     let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));

@@ -14,7 +14,7 @@ use maple_soc::config::SocConfig;
 use maple_soc::runtime::MapleApi;
 use maple_soc::system::System;
 
-fn measure(placement: (u8, u8)) -> f64 {
+fn measure(placement: (u16, u16)) -> f64 {
     let mut cfg = SocConfig::fpga_prototype();
     cfg.mesh_width = 6;
     cfg.mesh_height = 6;
@@ -54,7 +54,7 @@ fn main() {
         "≈25 cycles + 1 per hop (Figure 14); OS maps a nearby instance",
     );
     // Core 0 sits at (0,0); sweep the engine along the diagonal-ish path.
-    let placements: [((u8, u8), u64); 5] = [
+    let placements: [((u16, u16), u64); 5] = [
         ((1, 1), 2),
         ((3, 1), 4),
         ((3, 3), 6),

@@ -1,8 +1,9 @@
 //! Deterministic oracle-grid driver for the CI determinism gates.
 //!
 //! Runs the differential oracle grid (every oracle variant × three fixed
-//! tiny kernel instances) and the fixed-seed chaos grid, and prints one
-//! line per measurement to stdout. Every printed value is a pure
+//! tiny kernel instances), the fixed-seed chaos grid, and the
+//! hierarchical-fabric rows (flat vs 1-cluster bit-identity, a live 2×2
+//! crossbar hierarchy), and prints one line per measurement to stdout. Every printed value is a pure
 //! function of the fixed seeds and the simulator — **independent of
 //! `MAPLE_JOBS` and of how the grid was dispatched**:
 //!
@@ -296,6 +297,28 @@ fn main() {
         .unwrap_or_else(|e| panic!("{e}"));
         println!("chaos\t{}\tok", schedule.name);
     }
+
+    // Hierarchical grid: always local, same deterministic stdout in
+    // every dispatch mode (like the chaos grid). A degenerate 1-cluster
+    // configuration must be bit-exact with the flat mesh, and a live
+    // 2×2 crossbar hierarchy must satisfy the oracle invariants.
+    let hier_inst = Spmv {
+        a: uniform_sparse(32, 8 * 1024, 6, GRID_SEED ^ 0x08),
+        x: dense_vector(8 * 1024, GRID_SEED ^ 0x09),
+    };
+    let flat = hier_inst.run(Variant::MapleDecoupled, 2);
+    let one = hier_inst.run_tuned(Variant::MapleDecoupled, 2, |c| {
+        let tiles = usize::from(c.mesh_width) * usize::from(c.mesh_height);
+        c.with_clusters(maple_soc::ClusterConfig::new(tiles, 1, 1))
+    });
+    assert_eq!(one, flat, "1-cluster hierarchy diverged from the flat mesh");
+    emit("spmv", "maple-dec/1-cluster", 2, &one);
+    let clustered = hier_inst.run_tuned(Variant::MapleDecoupled, 4, |c| {
+        c.with_maples(2)
+            .with_clusters(maple_soc::ClusterConfig::new(9, 2, 2))
+    });
+    check_run("spmv/maple-dec/clustered2x2", &clustered).expect("oracle invariant");
+    emit("spmv", "maple-dec/clustered2x2", 4, &clustered);
 
     eprintln!(
         "[oracle_grid] jobs={jobs}, wall={:.2}s",

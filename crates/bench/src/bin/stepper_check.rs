@@ -17,6 +17,12 @@
 //! and the recoverable chaos schedules, again printing only
 //! host-independent lines for the cross-worker byte-diff.
 //!
+//! With `--scale N` it runs the hierarchical-fabric determinism gate:
+//! an `N`-tile clustered SoC (4×4 crossbar clusters, one L2 bank and
+//! one MAPLE engine per cluster) under the skipping stepper vs a
+//! 4-partition run, printing only host-independent lines for the
+//! cross-worker byte-diff — the scale smoke of `ci.sh`.
+//!
 //! With `--speedup-floor X` it runs the partitioned *throughput*
 //! expectation: the 4-partition sweep must reach `X`× the
 //! single-threaded skipping baseline. This gate is honest about the
@@ -25,6 +31,7 @@
 //! only the bit-exactness gates above apply there.
 
 use maple_bench::report::FigureReport;
+use maple_bench::scaling::scale_gate;
 use maple_bench::stepper::{
     fast_path_gate, partitioned_gate, partitioned_sweep, stall_heavy_comparison,
 };
@@ -78,6 +85,21 @@ fn main() {
             Ok(report) => println!("{report}"),
             Err(msg) => {
                 eprintln!("[stepper_check] FAST-PATH DIVERGENCE\n{msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        let tiles: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .expect("--scale takes a positive tile count (a square multiple of 16)");
+        match scale_gate(0x5CA1E, tiles) {
+            Ok(report) => println!("{report}"),
+            Err(msg) => {
+                eprintln!("[stepper_check] HIERARCHICAL FABRIC DIVERGENCE\n{msg}");
                 std::process::exit(1);
             }
         }

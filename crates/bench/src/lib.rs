@@ -14,6 +14,7 @@ pub mod experiments;
 pub mod instances;
 pub mod report;
 pub mod rtt;
+pub mod scaling;
 pub mod serving;
 pub mod stepper;
 pub mod summary;

@@ -3,7 +3,8 @@
 //! The sweep runs the [`maple_serve`] differential oracle over the full
 //! acceptance grid — {skipping, dense, 4-partition} steppers × compiled
 //! fast path on/off × {no chaos, one recoverable seeded chaos schedule}
-//! — dispatching cells through the [`maple_fleet`] batch executor, plus
+//! — dispatching cells through the [`maple_fleet`] batch executor,
+//! four hierarchical cells on a 2×2 crossbar-cluster fabric, plus
 //! one engine-kill cell proving the maple-dec → sw-dec → do-all ladder
 //! degrades a failing engine mid-tenant without a single corrupted
 //! byte. The gate output contains only host-independent lines (request
@@ -46,6 +47,24 @@ pub fn serve_grid(seed: u64) -> Vec<(String, ServeConfig)> {
                 );
                 cells.push((label, cfg));
             }
+        }
+    }
+    // Hierarchical cells: the same tenants on a 2×2 crossbar hierarchy
+    // (banked L2, per-cluster engine pools), skipping and partitioned,
+    // clean and under the recoverable schedule.
+    for (stepper, partitions) in [("skipping", 1), ("part4", 4)] {
+        for chaos in [false, true] {
+            let mut cfg = ServeConfig::quick(seed);
+            cfg.cluster = Some(maple_soc::ClusterConfig::new(9, 2, 2));
+            cfg.partitions = partitions;
+            if chaos {
+                cfg.chaos = Some(schedule.plane.clone());
+            }
+            let label = format!(
+                "clustered2x2/{stepper}/chaos={}",
+                if chaos { schedule.name } else { "none" }
+            );
+            cells.push((label, cfg));
         }
     }
     cells

@@ -185,7 +185,11 @@ pub fn partitioned_sweep(
     partition_counts: &[usize],
     workers: Option<usize>,
 ) -> PartitionedSweep {
-    let a = uniform_sparse(1024, 128 * 1024, 8, seed);
+    // 8192 rows: ~660k simulated cycles, so each timed run spans whole
+    // seconds of host time and the partitions×workers throughput rows
+    // measure the stepper, not allocator noise (the previous 1024-row
+    // instance finished in 83k cycles, under a quarter-second).
+    let a = uniform_sparse(8192, 128 * 1024, 8, seed);
     let x = dense_vector(128 * 1024, seed ^ 0x9);
     let inst = Spmv { a, x };
     let measure = |partitions: usize| {

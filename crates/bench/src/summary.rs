@@ -11,6 +11,7 @@ use maple_sim::stats::geomean;
 use maple_trace::Json;
 
 use crate::experiments::{find, Measurement};
+use crate::scaling::ScaleRow;
 
 /// Run-to-run harness accounting included in the document: the total
 /// sweep wall-clock, the worker count, and the cache traffic.
@@ -171,6 +172,7 @@ pub fn build_json(
     partitioned: Option<&PartitionedLine>,
     fast_path: Option<&FastPathLine>,
     serving: Option<&ServingLine>,
+    scaling: Option<&[ScaleRow]>,
 ) -> Json {
     let latencies: Vec<(String, Json)> = pairs_of(fig09)
         .into_iter()
@@ -390,6 +392,44 @@ pub fn build_json(
             ]),
         ));
     }
+    if let Some(rows) = scaling {
+        let rows: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("tiles", Json::from(r.tiles as u64)),
+                    ("clusters", Json::from(r.clusters as u64)),
+                    ("cores", Json::from(r.cores as u64)),
+                    ("engines", Json::from(r.engines as u64)),
+                    ("l2_banks", Json::from(r.l2_banks as u64)),
+                    ("simulated_cycles", Json::from(r.simulated_cycles)),
+                    ("maple_speedup", Json::from(r.maple_speedup)),
+                    (
+                        "lima_latency_reduction",
+                        Json::from(r.lima_latency_reduction),
+                    ),
+                    // Host-dependent, like the other throughput lines.
+                    (
+                        "host_mcycles_per_sec",
+                        Json::from(r.host_mcycles_per_sec),
+                    ),
+                ])
+            })
+            .collect();
+        members.push((
+            "scaling",
+            Json::obj(vec![
+                (
+                    "benchmark",
+                    Json::from(
+                        "spmv on 4x4-crossbar-cluster fabrics, one L2 bank \
+                         and one engine per cluster",
+                    ),
+                ),
+                ("rows", Json::Array(rows)),
+            ]),
+        ));
+    }
     Json::obj(members)
 }
 
@@ -398,6 +438,51 @@ pub const README_TABLE_BEGIN: &str =
     "<!-- BEGIN GENERATED: throughput-table (bench_summary rewrites this block) -->";
 /// Marker closing the generated throughput block in `README.md`.
 pub const README_TABLE_END: &str = "<!-- END GENERATED: throughput-table -->";
+
+/// Marker opening the generated scaling block in `README.md`.
+pub const README_SCALING_BEGIN: &str =
+    "<!-- BEGIN GENERATED: scaling-table (bench_summary rewrites this block) -->";
+/// Marker closing the generated scaling block in `README.md`.
+pub const README_SCALING_END: &str = "<!-- END GENERATED: scaling-table -->";
+
+/// Renders the README scaling table from a built (or parsed)
+/// `BENCH_maple.json` document — same contract as
+/// [`readme_throughput_table`]: `bench_summary` rewrites the block
+/// between [`README_SCALING_BEGIN`] and [`README_SCALING_END`], and the
+/// drift test regenerates it from the checked-in JSON.
+///
+/// Returns an empty string when the document has no `scaling` section.
+#[must_use]
+pub fn readme_scaling_table(doc: &Json) -> String {
+    let Some(rows) = doc
+        .get("scaling")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    else {
+        return String::new();
+    };
+    let mut out = String::from(
+        "| tiles | clusters | cores | engines | L2 banks | MAPLE speedup \
+         | LIMA latency reduction | host throughput |\n\
+         |-------|----------|-------|---------|----------|---------------\
+         |------------------------|-----------------|\n",
+    );
+    for r in rows {
+        let int = |k: &str| r.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+        out.push_str(&format!(
+            "| {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | ≈ {:.2}× | ≈ {:.2}× | {} |\n",
+            int("tiles"),
+            int("clusters"),
+            int("cores"),
+            int("engines"),
+            int("l2_banks"),
+            int("maple_speedup"),
+            int("lima_latency_reduction"),
+            mcy(int("host_mcycles_per_sec")),
+        ));
+    }
+    out
+}
 
 fn mcy(v: f64) -> String {
     format!("≈ {v:.1} Mcycles/s")

@@ -40,6 +40,11 @@
 #![deny(missing_docs)]
 
 pub mod boundary;
+pub mod crossbar;
+pub mod fabric;
+
+pub use crossbar::{Crossbar, CrossbarConfig};
+pub use fabric::{ClusterTopology, ClusteredNoc, Fabric, XbarFault};
 
 use std::collections::VecDeque;
 
@@ -51,15 +56,19 @@ use maple_trace::{FaultSite, TraceEvent, Tracer};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Coord {
     /// Column, increasing eastward.
-    pub x: u8,
+    pub x: u16,
     /// Row, increasing southward.
-    pub y: u8,
+    pub y: u16,
 }
 
 impl Coord {
     /// Creates a coordinate.
+    ///
+    /// Coordinates are 16-bit so kilotile fabrics (e.g. a 32×32 grid of
+    /// 256 clusters) can never silently truncate a tile id the way the
+    /// old 8-bit fields could.
     #[must_use]
-    pub fn new(x: u8, y: u8) -> Self {
+    pub fn new(x: u16, y: u16) -> Self {
         Coord { x, y }
     }
 
@@ -82,20 +91,30 @@ impl std::fmt::Display for Coord {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeshConfig {
     /// Number of columns.
-    pub width: u8,
+    pub width: u16,
     /// Number of rows.
-    pub height: u8,
+    pub height: u16,
     /// Cycles a packet spends traversing one hop (paper: 1).
     pub hop_latency: u64,
     /// Packets an input buffer can hold before backpressure.
     pub buffer_depth: usize,
 }
 
+/// Upper bound on router counts accepted at construction: generous for
+/// the 1024-tile fabrics the scaling sweeps exercise, but small enough
+/// to catch a garbage dimension (e.g. a truncated cast) immediately.
+pub const MAX_NODES: usize = 64 * 1024;
+
 impl MeshConfig {
     /// A mesh of `width` × `height` routers with the paper's default timing
     /// (1 cycle per hop, 8-deep input buffers).
     #[must_use]
-    pub fn new(width: u8, height: u8) -> Self {
+    pub fn new(width: u16, height: u16) -> Self {
+        debug_assert!(width > 0 && height > 0, "mesh dimensions must be non-zero");
+        debug_assert!(
+            usize::from(width) * usize::from(height) <= MAX_NODES,
+            "mesh of {width}x{height} routers exceeds MAX_NODES ({MAX_NODES})"
+        );
         MeshConfig {
             width,
             height,
@@ -264,8 +283,8 @@ impl<T> Mesh<T> {
 
     fn coord(&self, idx: usize) -> Coord {
         Coord::new(
-            (idx % usize::from(self.cfg.width)) as u8,
-            (idx / usize::from(self.cfg.width)) as u8,
+            (idx % usize::from(self.cfg.width)) as u16,
+            (idx / usize::from(self.cfg.width)) as u16,
         )
     }
 

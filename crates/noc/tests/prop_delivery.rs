@@ -11,10 +11,10 @@ use maple_testkit::{check, gen, tk_assert, tk_assert_eq, Config, Gen, SimRng};
 
 #[derive(Debug, Clone)]
 struct Traffic {
-    width: u8,
-    height: u8,
+    width: u16,
+    height: u16,
     /// (sx, sy, dx, dy, flits), coordinates already in range.
-    packets: Vec<(u8, u8, u8, u8, u8)>,
+    packets: Vec<(u16, u16, u16, u16, u8)>,
 }
 
 /// Generates a mesh up to 4×4 with up to 80 random packets. Shrinks by
@@ -27,16 +27,16 @@ impl Gen for TrafficGen {
     type Value = Traffic;
 
     fn generate(&self, rng: &mut SimRng) -> Traffic {
-        let width = 1 + rng.below(4) as u8;
-        let height = 1 + rng.below(4) as u8;
+        let width = 1 + rng.below(4) as u16;
+        let height = 1 + rng.below(4) as u16;
         let n = rng.below(80) as usize;
         let packets = (0..n)
             .map(|_| {
                 (
-                    rng.below(u64::from(width)) as u8,
-                    rng.below(u64::from(height)) as u8,
-                    rng.below(u64::from(width)) as u8,
-                    rng.below(u64::from(height)) as u8,
+                    rng.below(u64::from(width)) as u16,
+                    rng.below(u64::from(height)) as u16,
+                    rng.below(u64::from(width)) as u16,
+                    rng.below(u64::from(height)) as u16,
                     1 + rng.below(8) as u8,
                 )
             })
@@ -52,7 +52,7 @@ impl Gen for TrafficGen {
         let mut out = Vec::new();
         // Structural candidates (chunk removal) come from a VecGen whose
         // element never shrinks; its generate is never called here.
-        let structural = gen::vec_of(gen::just((0u8, 0u8, 0u8, 0u8, 1u8)), 0, 80);
+        let structural = gen::vec_of(gen::just((0u16, 0u16, 0u16, 0u16, 1u8)), 0, 80);
         for packets in structural.shrink(&t.packets) {
             out.push(Traffic {
                 packets,
@@ -140,9 +140,9 @@ fn latency_lower_bound_is_hop_count() {
         &Config::new("latency_lower_bound_is_hop_count"),
         &inputs,
         |&(w, h, sx, sy, dx, dy)| {
-            let s = Coord::new(sx % w, sy % h);
-            let d = Coord::new(dx % w, dy % h);
-            let mut mesh: Mesh<u8> = Mesh::new(MeshConfig::new(w, h));
+            let s = Coord::new(u16::from(sx % w), u16::from(sy % h));
+            let d = Coord::new(u16::from(dx % w), u16::from(dy % h));
+            let mut mesh: Mesh<u8> = Mesh::new(MeshConfig::new(w.into(), h.into()));
             mesh.inject(Cycle(0), s, d, 1, 0).unwrap();
             let mut now = Cycle(0);
             let mut arrived = None;

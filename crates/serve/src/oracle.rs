@@ -85,6 +85,47 @@ mod tests {
     }
 
     #[test]
+    fn one_cluster_session_matches_flat() {
+        // The serving stack must not notice the degenerate hierarchy:
+        // identical outputs AND an identical summary (latencies, switch
+        // counts, batch rounds) when the flat mesh is re-expressed as a
+        // single crossbar cluster.
+        let flat_cfg = ServeConfig::quick(42);
+        let soc = flat_cfg.soc_config();
+        let tiles = usize::from(soc.mesh_width) * usize::from(soc.mesh_height);
+        let mut one_cfg = flat_cfg.clone();
+        one_cfg.cluster = Some(maple_soc::ClusterConfig::new(tiles, 1, 1));
+        let (flat, flat_summary) = serve(flat_cfg);
+        let (one, one_summary) = serve(one_cfg);
+        assert_eq!(flat.outputs(), one.outputs(), "1-cluster outputs diverged from flat");
+        assert_eq!(
+            format!("{flat_summary:?}"),
+            format!("{one_summary:?}"),
+            "1-cluster serving summary diverged from flat"
+        );
+    }
+
+    #[test]
+    fn clustered_session_stays_isolated() {
+        // Per-cluster MAPLE pools and banked L2 must not weaken tenant
+        // isolation: the full differential (multi vs solo per tenant)
+        // on a live 2x2 hierarchy, then again under recoverable chaos
+        // with an engine kill so context switches and degradations cross
+        // cluster boundaries.
+        let mut cfg = ServeConfig::quick(42);
+        cfg.cluster = Some(maple_soc::ClusterConfig::new(9, 2, 2));
+        let summary = differential_check(&cfg).expect("clustered session");
+        assert!(summary.verified);
+        assert_eq!(summary.completed, summary.total_requests);
+
+        let mut chaotic = cfg.clone();
+        chaotic.chaos = Some(chaos_schedules(7)[0].plane.clone());
+        chaotic.kill_engine = Some((4_000, 1));
+        let summary = differential_check(&chaotic).expect("clustered chaos + kill");
+        assert!(summary.verified);
+    }
+
+    #[test]
     fn engine_kill_degrades_without_corruption() {
         let mut cfg = ServeConfig::quick(13);
         cfg.kill_engine = Some((4_000, 1));

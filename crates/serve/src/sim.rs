@@ -110,6 +110,9 @@ pub struct ServeConfig {
     pub partitions: usize,
     /// Enable the compiled core fast path.
     pub fast_path: bool,
+    /// Hierarchical fabric: group tiles into crossbar clusters with a
+    /// banked L2 (`None` keeps the flat mesh).
+    pub cluster: Option<maple_soc::ClusterConfig>,
     /// Observability tracing for the session.
     pub trace: Option<TraceConfig>,
 }
@@ -132,6 +135,7 @@ impl ServeConfig {
             dense: false,
             partitions: 1,
             fast_path: false,
+            cluster: None,
             trace: None,
         }
     }
@@ -165,6 +169,7 @@ impl ServeConfig {
             dense: false,
             partitions: 1,
             fast_path: false,
+            cluster: None,
             trace: None,
         }
     }
@@ -183,6 +188,9 @@ impl ServeConfig {
             .with_cores(2 * self.lanes())
             .with_maples(self.maples)
             .with_fast_path(self.fast_path);
+        if let Some(shape) = self.cluster {
+            cfg = cfg.with_clusters(shape);
+        }
         if self.dense {
             cfg = cfg.with_dense_stepper();
         }

@@ -38,6 +38,11 @@ const SALT_NOC_DELAY: u64 = 0xBF58_476D_1CE4_E5B9;
 const SALT_DRAM: u64 = 0x94D0_49BB_1331_11EB;
 const SALT_ACK: u64 = 0xD6E8_FEB8_6659_FD93;
 const SALT_SHOOTDOWN: u64 = 0xA076_1D64_78BD_642F;
+const SALT_XBAR_DROP: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const SALT_XBAR_DELAY: u64 = 0x1656_67B1_9E37_79F9;
+/// Per-bank DRAM streams for banks > 0; bank 0 keeps the historical
+/// [`SALT_DRAM`] stream so single-bank configs replay unchanged.
+const SALT_DRAM_BANK: u64 = 0x2545_F491_4F6C_DD1D;
 
 /// Watchdog / retry policy for one class of transactions.
 ///
@@ -91,6 +96,15 @@ pub struct FaultPlaneConfig {
     /// Probability that an engine response (data or ack) is lost at the
     /// source. `1.0` makes every MAPLE transaction unrecoverable.
     pub mmio_ack_loss: f64,
+    /// Probability that a fault-eligible packet is dropped at its
+    /// cluster crossbar (clustered fabrics only; flat meshes have no
+    /// crossbar site).
+    pub xbar_drop_rate: f64,
+    /// Probability that a fault-eligible packet is delayed at its
+    /// cluster crossbar.
+    pub xbar_delay_rate: f64,
+    /// Extra cycles added to a crossbar-delayed packet.
+    pub xbar_delay_cycles: u64,
     /// Scheduled mid-run engine `RESET`s: `(cycle, engine index)`.
     pub engine_resets: Vec<(u64, usize)>,
     /// Number of randomly-timed engine TLB shootdowns to inject.
@@ -117,6 +131,9 @@ impl FaultPlaneConfig {
             dram_spike_rate: 0.0,
             dram_spike_cycles: 0,
             mmio_ack_loss: 0.0,
+            xbar_drop_rate: 0.0,
+            xbar_delay_rate: 0.0,
+            xbar_delay_cycles: 0,
             engine_resets: Vec::new(),
             tlb_shootdowns: 0,
             shootdown_window: 0,
@@ -159,6 +176,23 @@ impl FaultPlaneConfig {
         self
     }
 
+    /// Drops fault-eligible packets at their cluster crossbar with
+    /// probability `rate` (no effect on flat fabrics).
+    #[must_use]
+    pub fn with_xbar_drop(mut self, rate: f64) -> Self {
+        self.xbar_drop_rate = rate;
+        self
+    }
+
+    /// Delays fault-eligible packets by `cycles` at their cluster
+    /// crossbar with probability `rate` (no effect on flat fabrics).
+    #[must_use]
+    pub fn with_xbar_delay(mut self, rate: f64, cycles: u64) -> Self {
+        self.xbar_delay_rate = rate;
+        self.xbar_delay_cycles = cycles;
+        self
+    }
+
     /// Schedules a `RESET` of engine `engine` at `cycle`.
     #[must_use]
     pub fn with_engine_reset_at(mut self, cycle: u64, engine: usize) -> Self {
@@ -193,7 +227,10 @@ impl FaultPlaneConfig {
             .u64(self.noc_delay_cycles)
             .f64(self.dram_spike_rate)
             .u64(self.dram_spike_cycles)
-            .f64(self.mmio_ack_loss);
+            .f64(self.mmio_ack_loss)
+            .f64(self.xbar_drop_rate)
+            .f64(self.xbar_delay_rate)
+            .u64(self.xbar_delay_cycles);
         d.usize(self.engine_resets.len());
         for &(cycle, engine) in &self.engine_resets {
             d.u64(cycle).usize(engine);
@@ -229,6 +266,40 @@ impl FaultPlaneConfig {
             self.dram_spike_rate,
             self.dram_spike_cycles,
             self.seed ^ SALT_DRAM,
+        )
+    }
+
+    /// The crossbar packet-drop schedule for this plane (clustered
+    /// fabrics only; flat meshes never construct it, so existing chaos
+    /// streams replay unchanged).
+    #[must_use]
+    pub fn xbar_drop_schedule(&self) -> FaultSchedule {
+        FaultSchedule::new(self.xbar_drop_rate, 0, self.seed ^ SALT_XBAR_DROP)
+    }
+
+    /// The crossbar extra-delay schedule for this plane.
+    #[must_use]
+    pub fn xbar_delay_schedule(&self) -> FaultSchedule {
+        FaultSchedule::new(
+            self.xbar_delay_rate,
+            self.xbar_delay_cycles,
+            self.seed ^ SALT_XBAR_DELAY,
+        )
+    }
+
+    /// The DRAM latency-spike schedule for L2 bank `bank`. Bank 0 *is*
+    /// the historical [`FaultPlaneConfig::dram_schedule`] stream, so a
+    /// single-bank (flat) memory system replays bit-for-bit; higher
+    /// banks get independent salted streams.
+    #[must_use]
+    pub fn dram_bank_schedule(&self, bank: usize) -> FaultSchedule {
+        if bank == 0 {
+            return self.dram_schedule();
+        }
+        FaultSchedule::new(
+            self.dram_spike_rate,
+            self.dram_spike_cycles,
+            self.seed ^ SALT_DRAM ^ (bank as u64).wrapping_mul(SALT_DRAM_BANK),
         )
     }
 
@@ -449,6 +520,8 @@ mod tests {
             base.clone().with_noc_delay(0.1, 10),
             base.clone().with_dram_spikes(0.1, 10),
             base.clone().with_mmio_ack_loss(0.1),
+            base.clone().with_xbar_drop(0.1),
+            base.clone().with_xbar_delay(0.1, 10),
             base.clone().with_engine_reset_at(100, 0),
             base.clone().with_tlb_shootdowns(1, 100),
             base.clone().with_watchdogs(
@@ -462,6 +535,40 @@ mod tests {
         for (i, edited) in edits.iter().enumerate() {
             assert_ne!(key(&base), key(edited), "edit {i} must move the key");
         }
+    }
+
+    #[test]
+    fn dram_bank_zero_is_the_historical_stream() {
+        let cfg = FaultPlaneConfig::new(11).with_dram_spikes(0.5, 300);
+        let mut flat = cfg.dram_schedule();
+        let mut bank0 = cfg.dram_bank_schedule(0);
+        let a: Vec<bool> = (0..128).map(|_| flat.strike()).collect();
+        let b: Vec<bool> = (0..128).map(|_| bank0.strike()).collect();
+        assert_eq!(a, b, "bank 0 must replay the single-bank stream");
+
+        let mut bank1 = cfg.dram_bank_schedule(1);
+        let mut bank2 = cfg.dram_bank_schedule(2);
+        let c: Vec<bool> = (0..128).map(|_| bank1.strike()).collect();
+        let d: Vec<bool> = (0..128).map(|_| bank2.strike()).collect();
+        assert_ne!(a, c, "bank 1 gets its own stream");
+        assert_ne!(c, d, "banks are pairwise independent");
+    }
+
+    #[test]
+    fn xbar_sites_are_independent_of_noc_sites() {
+        let cfg = FaultPlaneConfig::new(7)
+            .with_noc_drop(0.5)
+            .with_xbar_drop(0.5)
+            .with_xbar_delay(0.5, 10);
+        let mut noc = cfg.noc_drop_schedule();
+        let mut xd = cfg.xbar_drop_schedule();
+        let mut xl = cfg.xbar_delay_schedule();
+        let a: Vec<bool> = (0..64).map(|_| noc.strike()).collect();
+        let b: Vec<bool> = (0..64).map(|_| xd.strike()).collect();
+        let c: Vec<bool> = (0..64).map(|_| xl.strike()).collect();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(xl.magnitude(), 10);
     }
 
     #[test]

@@ -6,20 +6,110 @@ use maple_core::MapleConfig;
 use maple_cpu::CpuConfig;
 use maple_mem::dram::DramConfig;
 use maple_mem::l2::L2Config;
-use maple_noc::Coord;
+use maple_noc::{ClusterTopology, Coord};
 use maple_sim::fault::FaultPlaneConfig;
 use maple_trace::TraceConfig;
 
 /// Physical base address of the MAPLE instance pages.
 pub const MAPLE_PA_BASE: u64 = 0xF000_0000;
 
+/// The two-level hierarchical fabric configuration (MemPool-style):
+/// tiles grouped into clusters on single-cycle local crossbars, clusters
+/// bridged by the global mesh, with an address-interleaved multi-bank L2
+/// and per-cluster MAPLE pools.
+///
+/// A 1×1 cluster grid is the degenerate hierarchy: the SoC then builds
+/// the historical flat mesh (same code path, byte-identical behavior),
+/// so `Some(ClusterConfig::flat_equivalent(..))` and `None` simulate
+/// identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Tiles each cluster must hold (the cluster sub-grid is the
+    /// smallest square-ish grid with at least this capacity).
+    pub tiles_per_cluster: usize,
+    /// Clusters across the SoC.
+    pub clusters_x: u16,
+    /// Clusters down the SoC.
+    pub clusters_y: u16,
+    /// Crossbar grant-to-delivery latency (1 = single-cycle local
+    /// switch, the paper-scale design point).
+    pub xbar_latency: u64,
+    /// Address-interleaved L2 banks; bank `b` lives in cluster `b`, so
+    /// this must not exceed the cluster count.
+    pub l2_banks: usize,
+}
+
+impl ClusterConfig {
+    /// A `clusters_x` × `clusters_y` grid of clusters of at least
+    /// `tiles_per_cluster` tiles each, with a single-cycle crossbar and
+    /// one L2 bank per cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any dimension is zero.
+    #[must_use]
+    pub fn new(tiles_per_cluster: usize, clusters_x: u16, clusters_y: u16) -> Self {
+        assert!(tiles_per_cluster > 0, "clusters need at least one tile");
+        assert!(clusters_x > 0 && clusters_y > 0, "cluster grid must be non-empty");
+        ClusterConfig {
+            tiles_per_cluster,
+            clusters_x,
+            clusters_y,
+            xbar_latency: 1,
+            l2_banks: usize::from(clusters_x) * usize::from(clusters_y),
+        }
+    }
+
+    /// Overrides the number of L2 banks (≥ 1, ≤ cluster count).
+    #[must_use]
+    pub fn with_l2_banks(mut self, banks: usize) -> Self {
+        self.l2_banks = banks;
+        self
+    }
+
+    /// Overrides the crossbar latency.
+    #[must_use]
+    pub fn with_xbar_latency(mut self, cycles: u64) -> Self {
+        self.xbar_latency = cycles;
+        self
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn clusters(&self) -> usize {
+        usize::from(self.clusters_x) * usize::from(self.clusters_y)
+    }
+
+    /// The cluster sub-grid shape: the smallest square-ish grid with at
+    /// least `tiles_per_cluster` tiles (matches the square meshes
+    /// [`SocConfig::with_cores`] builds, so a 1×1 cluster grid over an
+    /// existing flat config reproduces its mesh exactly).
+    #[must_use]
+    pub fn cluster_shape(&self) -> (u16, u16) {
+        let mut w = 1u16;
+        while usize::from(w) * usize::from(w) < self.tiles_per_cluster {
+            w += 1;
+        }
+        let h = self.tiles_per_cluster.div_ceil(usize::from(w)) as u16;
+        (w, h)
+    }
+
+    /// The fabric topology this configuration describes.
+    #[must_use]
+    pub fn topology(&self) -> ClusterTopology {
+        let (w, h) = self.cluster_shape();
+        ClusterTopology::new(w, h, self.clusters_x, self.clusters_y)
+    }
+}
+
 /// Complete system configuration.
 #[derive(Debug, Clone)]
 pub struct SocConfig {
-    /// Mesh width in tiles.
-    pub mesh_width: u8,
+    /// Mesh width in tiles (u16: kilotile fabrics exceed a u8 axis; see
+    /// `maple_noc::MAX_NODES` for the hard ceiling).
+    pub mesh_width: u16,
     /// Mesh height in tiles.
-    pub mesh_height: u8,
+    pub mesh_height: u16,
     /// Number of core tiles.
     pub cores: usize,
     /// Number of MAPLE tiles.
@@ -48,7 +138,12 @@ pub struct SocConfig {
     /// the Section 5.3 placement discussion ("MAPLE instances are often
     /// scattered across the X and Y tile axes so that MAPLE are near
     /// cores").
-    pub maple_tile_override: Option<Vec<(u8, u8)>>,
+    pub maple_tile_override: Option<Vec<(u16, u16)>>,
+    /// Two-level hierarchical fabric (clusters on local crossbars bridged
+    /// by the global mesh, banked L2, per-cluster MAPLE pools). `None`
+    /// (the default) is the historical flat mesh; a 1×1 cluster grid is
+    /// byte-identical to it by construction (DESIGN.md §14).
+    pub cluster: Option<ClusterConfig>,
     /// Deterministic fault-injection plane; `None` (the default) keeps
     /// every run fault-free and timing-identical to a build without the
     /// plane.
@@ -98,6 +193,7 @@ impl SocConfig {
             droplet: None,
             desc_queue_capacity: 32,
             maple_tile_override: None,
+            cluster: None,
             fault: None,
             trace: None,
             dense_stepper: false,
@@ -122,7 +218,7 @@ impl SocConfig {
         self.cores = cores;
         let tiles = cores + 1 + self.maples;
         // Smallest square-ish mesh that fits.
-        let mut w = 2u8;
+        let mut w = 2u16;
         while usize::from(w) * usize::from(w) < tiles {
             w += 1;
         }
@@ -137,6 +233,62 @@ impl SocConfig {
         self.maples = maples;
         let cores = self.cores;
         self.with_cores(cores)
+    }
+
+    /// Arranges the SoC as a two-level hierarchical fabric: tiles
+    /// grouped into clusters on single-cycle local crossbars, clusters
+    /// bridged by the global mesh, L2 banks interleaved across clusters
+    /// by line address, and MAPLE instances pooled per cluster.
+    ///
+    /// The mesh dimensions are recomputed from the cluster grid (they
+    /// remain the single source of truth for the global tile grid), and
+    /// cores/MAPLEs are redistributed evenly across clusters by
+    /// [`SocConfig::layout`]. A 1×1 cluster grid whose cluster shape
+    /// matches the flat mesh simulates byte-identically to `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bank count is zero or exceeds the cluster count,
+    /// when the clusters cannot hold the configured components, or when
+    /// a `maple_tile_override` is set (placement is cluster-derived in
+    /// hierarchical fabrics).
+    #[must_use]
+    pub fn with_clusters(mut self, cluster: ClusterConfig) -> Self {
+        assert!(
+            cluster.l2_banks >= 1 && cluster.l2_banks <= cluster.clusters(),
+            "l2_banks must be in 1..={} (one bank per cluster at most), got {}",
+            cluster.clusters(),
+            cluster.l2_banks
+        );
+        assert!(
+            self.maple_tile_override.is_none(),
+            "maple_tile_override and clustering are mutually exclusive: \
+             hierarchical placement is derived from the cluster grid"
+        );
+        let (cw, ch) = cluster.cluster_shape();
+        self.mesh_width = cluster.clusters_x * cw;
+        self.mesh_height = cluster.clusters_y * ch;
+        self.cluster = Some(cluster);
+        // Surface capacity violations at configuration time.
+        let _ = self.layout();
+        self
+    }
+
+    /// Number of L2 banks (1 for flat configurations).
+    #[must_use]
+    pub fn n_l2_banks(&self) -> usize {
+        self.cluster.map_or(1, |c| c.l2_banks)
+    }
+
+    /// The hierarchical fabric topology, when this configuration actually
+    /// exercises the clustered NoC. A missing or 1×1 cluster grid returns
+    /// `None`: the SoC then builds the plain flat mesh (the degenerate
+    /// hierarchy is byte-identical to it by construction).
+    #[must_use]
+    pub fn fabric_topology(&self) -> Option<ClusterTopology> {
+        self.cluster
+            .filter(|c| c.clusters() > 1)
+            .map(|c| c.topology())
     }
 
     /// Sets the Figure 15 communication-latency knob.
@@ -306,20 +458,36 @@ impl SocConfig {
                 d.u64(u64::from(x)).u64(u64::from(y));
             }
         }
+        d.bool(self.cluster.is_some());
+        if let Some(cluster) = &self.cluster {
+            d.usize(cluster.tiles_per_cluster)
+                .u64(u64::from(cluster.clusters_x))
+                .u64(u64::from(cluster.clusters_y))
+                .u64(cluster.xbar_latency)
+                .usize(cluster.l2_banks);
+        }
         d.bool(self.fault.is_some());
         if let Some(fault) = &self.fault {
             fault.digest_into(d);
         }
     }
 
-    /// Total tiles used by this configuration.
+    /// Total tiles used by this configuration (every L2 bank occupies a
+    /// tile; flat configurations have exactly one).
     #[must_use]
     pub fn tiles_used(&self) -> usize {
-        self.cores + 1 + self.maples
+        self.cores + self.n_l2_banks() + self.maples
     }
 
-    /// The fixed tile layout: cores first (row-major), then the L2 tile,
-    /// then MAPLE tiles.
+    /// The fixed tile layout.
+    ///
+    /// Flat: cores first (row-major), then the L2 tile, then MAPLE
+    /// tiles. Clustered: components are distributed cluster-major —
+    /// cluster `c` gets an even share of the cores, L2 bank `c` (when
+    /// `c < l2_banks`), and an even share of the MAPLEs, packed in that
+    /// order onto the cluster's row-major local ports. With one cluster
+    /// whose shape matches the flat mesh the two layouts coincide
+    /// exactly (the byte-identity anchor of DESIGN.md §14).
     #[must_use]
     pub fn layout(&self) -> TileLayout {
         let nodes = usize::from(self.mesh_width) * usize::from(self.mesh_height);
@@ -331,10 +499,25 @@ impl SocConfig {
             self.mesh_height,
             nodes
         );
+        let layout = match &self.cluster {
+            Some(cluster) => self.clustered_layout(cluster),
+            None => self.flat_layout(),
+        };
+        // Placements must not collide across components.
+        for m in &layout.maple_tiles {
+            assert!(
+                !layout.l2_tiles.contains(m) && !layout.core_tiles.contains(m),
+                "MAPLE tile {m} collides with another component"
+            );
+        }
+        layout
+    }
+
+    fn flat_layout(&self) -> TileLayout {
         let coord = |idx: usize| {
             Coord::new(
-                (idx % usize::from(self.mesh_width)) as u8,
-                (idx / usize::from(self.mesh_width)) as u8,
+                (idx % usize::from(self.mesh_width)) as u16,
+                (idx / usize::from(self.mesh_width)) as u16,
             )
         };
         let default_tiles: Vec<Coord> =
@@ -350,19 +533,49 @@ impl SocConfig {
             }
             None => default_tiles,
         };
-        let layout = TileLayout {
+        TileLayout {
             core_tiles: (0..self.cores).map(coord).collect(),
-            l2_tile: coord(self.cores),
+            l2_tiles: vec![coord(self.cores)],
             maple_tiles,
-        };
-        // Overridden placements must not collide with cores or the L2.
-        for m in &layout.maple_tiles {
-            assert!(
-                *m != layout.l2_tile && !layout.core_tiles.contains(m),
-                "MAPLE tile {m} collides with another component"
-            );
         }
-        layout
+    }
+
+    fn clustered_layout(&self, cluster: &ClusterConfig) -> TileLayout {
+        let topo = cluster.topology();
+        let n = topo.clusters();
+        let share = |count: usize, c: usize| count / n + usize::from(c < count % n);
+        let mut core_tiles = Vec::with_capacity(self.cores);
+        let mut l2_tiles = Vec::with_capacity(cluster.l2_banks);
+        let mut maple_tiles = Vec::with_capacity(self.maples);
+        for c in 0..n {
+            let cores_here = share(self.cores, c);
+            let banks_here = usize::from(c < cluster.l2_banks);
+            let maples_here = share(self.maples, c);
+            let used = cores_here + banks_here + maples_here;
+            assert!(
+                used <= topo.tiles_per_cluster(),
+                "cluster {c} needs {used} tiles but holds {}",
+                topo.tiles_per_cluster()
+            );
+            let mut port = 0;
+            for _ in 0..cores_here {
+                core_tiles.push(topo.tile_at(c, port));
+                port += 1;
+            }
+            if banks_here == 1 {
+                l2_tiles.push(topo.tile_at(c, port));
+                port += 1;
+            }
+            for _ in 0..maples_here {
+                maple_tiles.push(topo.tile_at(c, port));
+                port += 1;
+            }
+        }
+        TileLayout {
+            core_tiles,
+            l2_tiles,
+            maple_tiles,
+        }
     }
 
     /// Physical base address of MAPLE instance `i`'s MMIO page.
@@ -377,10 +590,25 @@ impl SocConfig {
 pub struct TileLayout {
     /// One coordinate per core.
     pub core_tiles: Vec<Coord>,
-    /// The shared L2 + memory-controller tile.
-    pub l2_tile: Coord,
+    /// One tile per L2 bank + its memory-controller slice; flat
+    /// configurations have exactly one.
+    pub l2_tiles: Vec<Coord>,
     /// One coordinate per MAPLE instance.
     pub maple_tiles: Vec<Coord>,
+}
+
+impl TileLayout {
+    /// The single L2 tile of a flat (unbanked) configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layout has more than one bank — callers that can
+    /// see banked configurations must index `l2_tiles` explicitly.
+    #[must_use]
+    pub fn l2_tile(&self) -> Coord {
+        assert_eq!(self.l2_tiles.len(), 1, "banked layout has no single L2 tile");
+        self.l2_tiles[0]
+    }
 }
 
 #[cfg(test)]
@@ -411,7 +639,7 @@ mod tests {
         assert_eq!(l.core_tiles.len(), 2);
         assert_eq!(l.maple_tiles.len(), 1);
         let mut all = l.core_tiles.clone();
-        all.push(l.l2_tile);
+        all.extend(&l.l2_tiles);
         all.extend(&l.maple_tiles);
         let mut dedup = all.clone();
         dedup.sort();
@@ -478,6 +706,100 @@ mod tests {
             key(&fast),
             "the compiled fast-path is bit-exact, so it shares cache keys"
         );
+    }
+
+    #[test]
+    fn one_cluster_layout_matches_flat() {
+        // The degenerate hierarchy: one cluster shaped exactly like the
+        // flat mesh places every component on the same tile, so the two
+        // configurations simulate byte-identically.
+        let flat = SocConfig::fpga_prototype().with_cores(4);
+        let tiles = usize::from(flat.mesh_width) * usize::from(flat.mesh_height);
+        let clustered = flat.clone().with_clusters(ClusterConfig::new(tiles, 1, 1));
+        assert_eq!(clustered.mesh_width, flat.mesh_width);
+        assert_eq!(clustered.mesh_height, flat.mesh_height);
+        assert!(clustered.fabric_topology().is_none(), "1 cluster rides the flat mesh");
+        assert_eq!(clustered.n_l2_banks(), 1);
+        let (fl, cl) = (flat.layout(), clustered.layout());
+        assert_eq!(fl.core_tiles, cl.core_tiles);
+        assert_eq!(fl.l2_tiles, cl.l2_tiles);
+        assert_eq!(fl.maple_tiles, cl.maple_tiles);
+    }
+
+    #[test]
+    fn clustered_layout_pools_components_per_cluster() {
+        // 2×2 clusters of 2×2 tiles: 8 cores, 4 maples, 4 banks — every
+        // cluster gets 2 cores, 1 bank, 1 maple on its own sub-grid.
+        let mut cfg = SocConfig::fpga_prototype();
+        cfg.cores = 8;
+        cfg.maples = 4;
+        let cfg = cfg.with_clusters(ClusterConfig::new(4, 2, 2));
+        assert_eq!(cfg.mesh_width, 4);
+        assert_eq!(cfg.mesh_height, 4);
+        assert_eq!(cfg.n_l2_banks(), 4);
+        let topo = cfg.fabric_topology().expect("2x2 clusters use the hierarchy");
+        let l = cfg.layout();
+        assert_eq!(l.core_tiles.len(), 8);
+        assert_eq!(l.l2_tiles.len(), 4);
+        assert_eq!(l.maple_tiles.len(), 4);
+        for c in 0..4 {
+            let in_cluster =
+                |t: &&Coord| topo.cluster_index_of(**t) == c;
+            assert_eq!(l.core_tiles.iter().filter(in_cluster).count(), 2);
+            assert_eq!(l.l2_tiles.iter().filter(in_cluster).count(), 1);
+            assert_eq!(l.maple_tiles.iter().filter(in_cluster).count(), 1);
+        }
+        // Bank b lives in cluster b (the address-interleaving contract).
+        for (b, t) in l.l2_tiles.iter().enumerate() {
+            assert_eq!(topo.cluster_index_of(*t), b);
+        }
+    }
+
+    #[test]
+    fn digest_tracks_cluster_knobs() {
+        let key = |c: &SocConfig| {
+            let mut d = maple_fleet::Digest::new(0);
+            c.digest_into(&mut d);
+            d.finish()
+        };
+        let mut base = SocConfig::fpga_prototype();
+        base.cores = 8;
+        base.maples = 4;
+        let clustered = base.clone().with_clusters(ClusterConfig::new(4, 2, 2));
+        assert_ne!(key(&base), key(&clustered), "clustering participates");
+        let fewer_banks = base
+            .clone()
+            .with_clusters(ClusterConfig::new(4, 2, 2).with_l2_banks(2));
+        assert_ne!(key(&clustered), key(&fewer_banks), "bank count participates");
+        let slower_xbar = base
+            .clone()
+            .with_clusters(ClusterConfig::new(4, 2, 2).with_xbar_latency(3));
+        assert_ne!(key(&clustered), key(&slower_xbar), "xbar latency participates");
+        let wider = base.clone().with_clusters(ClusterConfig::new(4, 4, 1));
+        assert_ne!(key(&clustered), key(&wider), "cluster grid participates");
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn clustering_rejects_tile_overrides() {
+        let mut cfg = SocConfig::fpga_prototype();
+        cfg.maple_tile_override = Some(vec![(1, 1)]);
+        let _ = cfg.with_clusters(ClusterConfig::new(4, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "l2_banks")]
+    fn clustering_rejects_excess_banks() {
+        let _ = SocConfig::fpga_prototype()
+            .with_clusters(ClusterConfig::new(4, 1, 1).with_l2_banks(2));
+    }
+
+    #[test]
+    fn cluster_shape_is_square_ish() {
+        assert_eq!(ClusterConfig::new(4, 2, 2).cluster_shape(), (2, 2));
+        assert_eq!(ClusterConfig::new(9, 1, 1).cluster_shape(), (3, 3));
+        assert_eq!(ClusterConfig::new(5, 1, 1).cluster_shape(), (3, 2));
+        assert_eq!(ClusterConfig::new(1, 1, 1).cluster_shape(), (1, 1));
     }
 
     #[test]

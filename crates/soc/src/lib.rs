@@ -52,7 +52,7 @@ mod partition;
 pub mod runtime;
 pub mod system;
 
-pub use config::SocConfig;
+pub use config::{ClusterConfig, SocConfig};
 pub use system::{ChaosStats, System};
 
 /// Re-export of the MAPLE MMIO encoding, for programs that form engine

@@ -218,6 +218,55 @@ impl SplitPlan {
         }
     }
 
+    /// Plans `n` partitions over a clustered fabric: every boundary is
+    /// snapped right to the next *cluster* boundary (`core_cuts` /
+    /// `engine_cuts` are the component indices at which the owning
+    /// cluster changes, each list ending with the component count), so a
+    /// cluster's crossbar traffic never straddles two workers and the
+    /// per-cluster MAPLE pool stays with its cores. The DeSC-pair rule
+    /// still applies after snapping (pairs are placed within one cluster
+    /// by layout, so this is belt-and-braces, not a new constraint).
+    ///
+    /// Bit-exactness never depends on where boundaries land — partitions
+    /// share no mutable state — so alignment is purely a locality choice;
+    /// it is pinned by tests because the *plan* must still be
+    /// deterministic.
+    pub fn plan_clustered(
+        n: usize,
+        cores: usize,
+        engines: usize,
+        desc_pair: &[Option<usize>],
+        core_cuts: &[usize],
+        engine_cuts: &[usize],
+    ) -> SplitPlan {
+        assert!(n > 0, "at least one partition is required");
+        let snap = |target: usize, cuts: &[usize], count: usize| {
+            cuts.iter().copied().find(|&c| c >= target).unwrap_or(count)
+        };
+        let mut core_starts = Vec::with_capacity(n + 1);
+        core_starts.push(0);
+        for p in 1..n {
+            let ideal = (p * cores / n).max(*core_starts.last().expect("non-empty"));
+            let mut b = snap(ideal, core_cuts, cores);
+            while b < cores && cuts_desc_pair(b, desc_pair) {
+                b += 1;
+            }
+            core_starts.push(b);
+        }
+        core_starts.push(cores);
+        let mut engine_starts = Vec::with_capacity(n + 1);
+        engine_starts.push(0);
+        for p in 1..n {
+            let ideal = (p * engines / n).max(*engine_starts.last().expect("non-empty"));
+            engine_starts.push(snap(ideal, engine_cuts, engines));
+        }
+        engine_starts.push(engines);
+        SplitPlan {
+            core_starts,
+            engine_starts,
+        }
+    }
+
     /// Total loaded cores covered by the plan.
     pub fn total_cores(&self) -> usize {
         *self.core_starts.last().expect("non-empty")
@@ -433,6 +482,38 @@ mod tests {
         assert_eq!(plan.engine_starts, vec![0, 0, 1, 1, 2]);
         assert_eq!(plan.engine_owner(0), (1, 0));
         assert_eq!(plan.engine_owner(1), (3, 0));
+    }
+
+    #[test]
+    fn clustered_plan_snaps_to_cluster_boundaries() {
+        // 8 cores in clusters of 3/3/2 (cuts at 3, 6, 8): the balanced
+        // midpoint (4) snaps right to the next cluster boundary (6).
+        let plan = SplitPlan::plan_clustered(2, 8, 4, &[None; 8], &[3, 6, 8], &[2, 4]);
+        assert_eq!(plan.core_starts, vec![0, 6, 8]);
+        // Engine midpoint 2 is already a cut, so it stays.
+        assert_eq!(plan.engine_starts, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn clustered_plan_is_monotonic_with_sparse_cuts() {
+        // One giant cluster: every interior boundary snaps to the end,
+        // degenerating to a single working partition — never cutting the
+        // cluster.
+        let plan = SplitPlan::plan_clustered(4, 8, 0, &[None; 8], &[8], &[0]);
+        assert_eq!(plan.core_starts, vec![0, 8, 8, 8, 8]);
+        assert_eq!(plan.total_cores(), 8);
+        assert_eq!(plan.partitions(), 4);
+    }
+
+    #[test]
+    fn clustered_plan_still_respects_desc_pairs() {
+        // Cores 2 and 3 share a queue; cluster cut at 3 would split
+        // them, so the boundary slides right past the pair.
+        let pairs = [None, None, Some(0), Some(0), None, None];
+        let plan = SplitPlan::plan_clustered(2, 6, 0, &pairs, &[3, 6], &[0]);
+        let (pa, _) = plan.core_owner(2);
+        let (pb, _) = plan.core_owner(3);
+        assert_eq!(pa, pb, "paired cores share a partition");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use maple_fleet::Crew;
 use maple_mem::l2::SharedL2;
 use maple_mem::msg::{MemReq, MemResp};
 use maple_mem::phys::{PAddr, PhysMem, WriteStage, PAGE_SIZE};
-use maple_noc::{Coord, Mesh, MeshConfig, NocFault};
+use maple_noc::{Coord, Fabric, MeshConfig, NocFault, XbarFault};
 use maple_sim::fault::{CoreHang, EngineHang, HangDiagnosis, WatchdogConfig};
 use maple_sim::link::DelayQueue;
 use maple_sim::stats::Counter;
@@ -153,10 +153,15 @@ pub struct System {
     mem: PhysMem,
     frames: FrameAllocator,
     aspace: AddressSpace,
-    mesh: Mesh<NocPayload>,
+    /// The interconnect: the historical flat mesh, or the two-level
+    /// clustered fabric when the configuration asks for >1 cluster.
+    mesh: Fabric<NocPayload>,
     cores: Vec<Core>,
     engines: Vec<Engine>,
-    l2: SharedL2,
+    /// Address-interleaved L2 banks (`line % banks`); flat configurations
+    /// hold exactly one, and every aggregate over one bank is the
+    /// historical value unchanged.
+    l2: Vec<SharedL2>,
     droplet: Option<DropletPrefetcher>,
     desc_queues: Vec<DescQueues>,
     desc_pair: Vec<Option<usize>>,
@@ -216,32 +221,52 @@ impl System {
         // Frames live above the first 16 MB (reserved) within 1 GB DRAM.
         let mut frames = FrameAllocator::new(PAddr(0x100_0000), (1 << 30) - 0x100_0000);
         let aspace = AddressSpace::new(&mut mem, &mut frames);
-        let mesh = Mesh::new(MeshConfig::new(cfg.mesh_width, cfg.mesh_height));
+        // A 1×1 (or absent) cluster grid takes the flat arm and runs the
+        // untouched mesh code — the degenerate hierarchy is byte-identical
+        // to the historical topology by construction, not by re-derivation.
+        let mut mesh = match cfg.fabric_topology() {
+            Some(topo) => {
+                let cluster = cfg.cluster.expect("topology implies a cluster config");
+                Fabric::clustered(topo, cluster.xbar_latency)
+            }
+            None => Fabric::flat(MeshConfig::new(cfg.mesh_width, cfg.mesh_height)),
+        };
         let mut maple_cfg = cfg.maple;
         maple_cfg.decode_latency += cfg.maple_extra_latency / 2;
         maple_cfg.respond_latency += cfg.maple_extra_latency - cfg.maple_extra_latency / 2;
         let mut engines: Vec<Engine> = (0..cfg.maples).map(|_| Engine::new(maple_cfg)).collect();
-        let mut l2 = SharedL2::new(cfg.l2, cfg.dram);
-        let mut mesh = mesh;
+        let mut l2: Vec<SharedL2> = (0..cfg.n_l2_banks())
+            .map(|_| SharedL2::new(cfg.l2, cfg.dram))
+            .collect();
         let tracer = cfg.trace.map_or_else(Tracer::disabled, Tracer::enabled);
         let engine_rings: Vec<Tracer> = (0..cfg.maples)
             .map(|_| cfg.trace.map_or_else(Tracer::disabled, Tracer::enabled))
             .collect();
         if tracer.is_enabled() {
             mesh.set_tracer(tracer.clone());
-            l2.set_tracer(tracer.clone());
+            for bank in &mut l2 {
+                bank.set_tracer(tracer.clone());
+            }
             for (e, engine) in engines.iter_mut().enumerate() {
                 engine.set_tracer(e, engine_rings[e].clone());
             }
         }
         let droplet = cfg.droplet.map(DropletPrefetcher::new);
-        let nodes = mesh.config().nodes();
+        let nodes = usize::from(cfg.mesh_width) * usize::from(cfg.mesh_height);
         // Install the fault plane's per-site schedules and the driver-side
         // chaos state. All of this is skipped — and no RNG stream is ever
         // created or drawn — when `cfg.fault` is `None`.
         let chaos = cfg.fault.as_ref().map(|f| {
             mesh.set_fault(NocFault::from_plane(f));
-            l2.set_dram_fault(f.dram_schedule());
+            if mesh.is_clustered() {
+                mesh.set_xbar_fault(XbarFault::from_plane(f));
+            }
+            // Bank 0 draws the historical DRAM stream; further banks get
+            // independent streams, so single-bank chaos replay is
+            // bit-for-bit the pre-hierarchy one.
+            for (b, bank) in l2.iter_mut().enumerate() {
+                bank.set_dram_fault(f.dram_bank_schedule(b));
+            }
             for (e, engine) in engines.iter_mut().enumerate() {
                 engine.set_watchdog(f.engine_watchdog);
                 engine.set_ack_fault(f.ack_loss_schedule(e as u64));
@@ -582,12 +607,24 @@ impl System {
 
     // --- simulation -------------------------------------------------------
 
+    /// Which L2 bank serves `addr`: line-address interleaving across the
+    /// banks. The single-bank expression is kept literal (`0`, no modulo)
+    /// so flat configurations compute exactly what they always did.
+    fn bank_of(&self, addr: PAddr) -> usize {
+        let n = self.l2.len();
+        if n == 1 {
+            0
+        } else {
+            ((addr.0 / maple_mem::LINE_SIZE) % n as u64) as usize
+        }
+    }
+
     fn route(&self, addr: PAddr) -> Coord {
         if addr.0 >= MAPLE_PA_BASE {
             let idx = ((addr.0 - MAPLE_PA_BASE) / PAGE_SIZE) as usize;
             self.layout.maple_tiles[idx.min(self.layout.maple_tiles.len() - 1)]
         } else {
-            self.layout.l2_tile
+            self.layout.l2_tiles[self.bank_of(addr)]
         }
     }
 
@@ -824,15 +861,17 @@ impl System {
                 }
             }
         }
-        for payload in self.mesh.take_delivered(self.layout.l2_tile) {
-            match payload {
-                NocPayload::Req(req) => {
-                    if let Some(d) = &mut self.droplet {
-                        d.observe(now, &req);
+        for b in 0..self.l2.len() {
+            for payload in self.mesh.take_delivered(self.layout.l2_tiles[b]) {
+                match payload {
+                    NocPayload::Req(req) => {
+                        if let Some(d) = &mut self.droplet {
+                            d.observe(now, &req);
+                        }
+                        self.l2[b].accept(now, req);
                     }
-                    self.l2.accept(now, req);
+                    NocPayload::Resp(_) => unreachable!("response delivered to L2 tile"),
                 }
-                NocPayload::Resp(_) => unreachable!("response delivered to L2 tile"),
             }
         }
         for e in 0..plan.total_engines() {
@@ -977,16 +1016,27 @@ impl System {
             }
         }
 
-        // 3d. Tick the shared L2 and DROPLET, and collect L2 egress.
-        self.l2.tick(now, mem);
+        // 3d. Tick every L2 bank and DROPLET, and collect L2 egress in
+        //     bank order (one bank replays the historical sequence).
+        for bank in &mut self.l2 {
+            bank.tick(now, mem);
+        }
+        let banks = self.l2.len() as u64;
         if let Some(d) = &mut self.droplet {
             for req in d.tick(now, mem) {
-                self.l2.accept(now, req);
+                let b = if banks == 1 {
+                    0
+                } else {
+                    ((req.addr.0 / maple_mem::LINE_SIZE) % banks) as usize
+                };
+                self.l2[b].accept(now, req);
             }
         }
-        let l2_tile = self.layout.l2_tile;
-        while let Some(out) = self.l2.pop_outgoing() {
-            self.send_resp(l2_tile, out);
+        for b in 0..self.l2.len() {
+            let tile = self.layout.l2_tiles[b];
+            while let Some(out) = self.l2[b].pop_outgoing() {
+                self.send_resp(tile, out);
+            }
         }
 
         // 3e. Inject due messages, preserving per-tile order under
@@ -1013,8 +1063,8 @@ impl System {
     fn inject_outbound(&mut self, now: Cycle) {
         for t in 0..self.out_uncore.len() {
             let src = Coord::new(
-                (t % usize::from(self.cfg.mesh_width)) as u8,
-                (t / usize::from(self.cfg.mesh_width)) as u8,
+                (t % usize::from(self.cfg.mesh_width)) as u16,
+                (t / usize::from(self.cfg.mesh_width)) as u16,
             );
             loop {
                 let msg = if let Some(m) = self.out_retry[t].pop_front() {
@@ -1111,7 +1161,9 @@ impl System {
         if h.earliest() == Some(now) {
             return Some(now);
         }
-        h.observe(self.l2.next_event(now));
+        for bank in &self.l2 {
+            h.observe(bank.next_event(now));
+        }
         if let Some(d) = &self.droplet {
             h.observe(d.next_event(now));
         }
@@ -1147,7 +1199,35 @@ impl System {
     /// inspection surface (statistics, traces, hang diagnosis) always
     /// sees the components back in their global order.
     fn split(&mut self, n: usize, report_horizon: bool) -> (SplitPlan, Vec<Partition>) {
-        let plan = SplitPlan::plan(n, self.cores.len(), self.engines.len(), &self.desc_pair);
+        let plan = match self.cfg.fabric_topology() {
+            Some(topo) => {
+                // Partition boundaries snap to cluster boundaries so a
+                // cluster's crossbar traffic and MAPLE pool never straddle
+                // two workers (alignment is locality, not correctness —
+                // the steppers are bit-exact at any split).
+                let cuts = |tiles: &[Coord], count: usize| {
+                    let mut cuts: Vec<usize> = (1..count)
+                        .filter(|&i| {
+                            topo.cluster_index_of(tiles[i])
+                                != topo.cluster_index_of(tiles[i - 1])
+                        })
+                        .collect();
+                    cuts.push(count);
+                    cuts
+                };
+                let core_cuts = cuts(&self.layout.core_tiles, self.cores.len());
+                let engine_cuts = cuts(&self.layout.maple_tiles, self.engines.len());
+                SplitPlan::plan_clustered(
+                    n,
+                    self.cores.len(),
+                    self.engines.len(),
+                    &self.desc_pair,
+                    &core_cuts,
+                    &engine_cuts,
+                )
+            }
+            None => SplitPlan::plan(n, self.cores.len(), self.engines.len(), &self.desc_pair),
+        };
         let mut cores = std::mem::take(&mut self.cores).into_iter();
         let mut engines = std::mem::take(&mut self.engines).into_iter();
         let mut faults = std::mem::take(&mut self.faults_in_service).into_iter();
@@ -1492,10 +1572,22 @@ impl System {
         &self.engines[i]
     }
 
-    /// The shared L2.
+    /// The shared L2 (bank 0; flat configurations have exactly one).
     #[must_use]
     pub fn l2(&self) -> &SharedL2 {
-        &self.l2
+        &self.l2[0]
+    }
+
+    /// L2 bank `b` of a banked (clustered) configuration.
+    #[must_use]
+    pub fn l2_bank(&self, b: usize) -> &SharedL2 {
+        &self.l2[b]
+    }
+
+    /// Number of L2 banks (1 for flat configurations).
+    #[must_use]
+    pub fn l2_bank_count(&self) -> usize {
+        self.l2.len()
     }
 
     /// The DROPLET prefetcher, when enabled.
@@ -1516,10 +1608,19 @@ impl System {
         self.chaos.as_ref().map(|c| &c.stats)
     }
 
-    /// DRAM statistics (includes fault-plane latency spikes).
+    /// DRAM statistics aggregated across every bank's channel (includes
+    /// fault-plane latency spikes). Over one bank this is the historical
+    /// value unchanged.
     #[must_use]
-    pub fn dram_stats(&self) -> &maple_mem::dram::DramStats {
-        self.l2.dram_stats()
+    pub fn dram_stats(&self) -> maple_mem::dram::DramStats {
+        let mut total = maple_mem::dram::DramStats::default();
+        for bank in &self.l2 {
+            let s = bank.dram_stats();
+            total.requests.add(s.requests.get());
+            total.spikes.add(s.spikes.get());
+            total.latency.merge(&s.latency);
+        }
+        total
     }
 
     /// Whether engine `e` was retired by the driver after poisoning.
@@ -1615,16 +1716,37 @@ impl System {
     }
 
     /// Per-core stall attribution rows (blocking cycles split by
-    /// attributed cause; `compute` is the remainder).
+    /// attributed cause; `compute` is the remainder). Clustered fabrics
+    /// append one aggregate row per cluster holding loaded cores, so
+    /// stall attribution is readable at the hierarchy's own granularity.
     #[must_use]
     pub fn stall_rows(&self) -> Vec<StallRow> {
-        (0..self.cores.len())
+        let mut rows: Vec<StallRow> = (0..self.cores.len())
             .map(|i| StallRow {
                 label: format!("core{i}"),
                 core_cycles: self.core_cycles(i),
                 breakdown: self.cores[i].stats().stall,
             })
-            .collect()
+            .collect();
+        if let Some(topo) = self.cfg.fabric_topology() {
+            let mut agg: Vec<(u64, StallBreakdown)> =
+                vec![(0, StallBreakdown::default()); topo.clusters()];
+            for i in 0..self.cores.len() {
+                let c = topo.cluster_index_of(self.layout.core_tiles[i]);
+                agg[c].0 += self.core_cycles(i);
+                agg[c].1.merge(&self.cores[i].stats().stall);
+            }
+            for (c, (cycles, breakdown)) in agg.into_iter().enumerate() {
+                if cycles > 0 {
+                    rows.push(StallRow {
+                        label: format!("cluster{c}"),
+                        core_cycles: cycles,
+                        breakdown,
+                    });
+                }
+            }
+        }
+        rows
     }
 
     /// Aggregate stall attribution across every loaded core.
@@ -1690,16 +1812,36 @@ impl System {
                 m.histogram(format!("{p}/queue{q}/occupancy"), hist);
             }
         }
-        let l2 = self.l2.stats();
-        m.counter("l2/hits", l2.hits.get());
-        m.counter("l2/misses", l2.misses.get());
-        m.counter("l2/dram_fetches", l2.dram_fetches.get());
-        m.counter("l2/prefetch_fills", l2.prefetch_fills.get());
-        m.counter("l2/writes", l2.writes.get());
+        // Aggregate L2/DRAM counters over every bank: over one bank the
+        // sums are the historical values byte-for-byte, so flat metrics
+        // JSON is unchanged. Per-bank namespaces appear only when the
+        // configuration is actually banked.
+        let l2_sum = |f: fn(&maple_mem::l2::L2Stats) -> u64| {
+            self.l2.iter().map(|b| f(b.stats())).sum::<u64>()
+        };
+        m.counter("l2/hits", l2_sum(|s| s.hits.get()));
+        m.counter("l2/misses", l2_sum(|s| s.misses.get()));
+        m.counter("l2/dram_fetches", l2_sum(|s| s.dram_fetches.get()));
+        m.counter("l2/prefetch_fills", l2_sum(|s| s.prefetch_fills.get()));
+        m.counter("l2/writes", l2_sum(|s| s.writes.get()));
         let dram = self.dram_stats();
         m.counter("dram/requests", dram.requests.get());
         m.counter("dram/spikes", dram.spikes.get());
         m.histogram("dram/latency", &dram.latency);
+        if self.l2.len() > 1 {
+            for (b, bank) in self.l2.iter().enumerate() {
+                let s = bank.stats();
+                let p = format!("l2/bank{b}");
+                m.counter(format!("{p}/hits"), s.hits.get());
+                m.counter(format!("{p}/misses"), s.misses.get());
+                m.counter(format!("{p}/dram_fetches"), s.dram_fetches.get());
+                m.counter(format!("{p}/prefetch_fills"), s.prefetch_fills.get());
+                m.counter(format!("{p}/writes"), s.writes.get());
+                let d = bank.dram_stats();
+                m.counter(format!("dram/bank{b}/requests"), d.requests.get());
+                m.counter(format!("dram/bank{b}/spikes"), d.spikes.get());
+            }
+        }
         let noc = self.mesh_stats();
         m.counter("noc/injected", noc.injected.get());
         m.counter("noc/delivered", noc.delivered.get());
@@ -1707,6 +1849,14 @@ impl System {
         m.counter("noc/dropped", noc.dropped.get());
         m.counter("noc/delayed", noc.delayed.get());
         m.histogram("noc/latency", &noc.latency);
+        if let Some(global) = self.mesh.global_mesh_stats() {
+            m.counter("noc/global/injected", global.injected.get());
+            m.counter("noc/global/delivered", global.delivered.get());
+            m.counter("noc/global/hops", global.hops.get());
+            m.counter("noc/global/dropped", global.dropped.get());
+            m.counter("noc/global/delayed", global.delayed.get());
+            m.histogram("noc/global/latency", &global.latency);
+        }
         if let Some(chaos) = self.chaos_stats() {
             m.counter("chaos/resets_injected", chaos.resets_injected.get());
             m.counter("chaos/shootdowns_injected", chaos.shootdowns_injected.get());

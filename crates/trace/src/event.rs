@@ -96,6 +96,11 @@ pub enum FaultSite {
     EngineReset,
     /// A TLB shootdown was broadcast.
     TlbShootdown,
+    /// Packet dropped at its cluster crossbar (clustered fabrics only).
+    XbarDrop,
+    /// Packet held back at its cluster crossbar by the extra-delay
+    /// schedule.
+    XbarDelay,
 }
 
 impl FaultSite {
@@ -111,6 +116,8 @@ impl FaultSite {
             FaultSite::MmioRetry => "mmio-retry",
             FaultSite::EngineReset => "engine-reset",
             FaultSite::TlbShootdown => "tlb-shootdown",
+            FaultSite::XbarDrop => "xbar-drop",
+            FaultSite::XbarDelay => "xbar-delay",
         }
     }
 }
@@ -166,10 +173,10 @@ pub enum TraceEvent {
     },
     /// A packet traversed one router hop.
     NocHop {
-        /// Router column.
-        x: u8,
+        /// Router column (u16: kilotile fabrics exceed a u8 axis).
+        x: u16,
         /// Router row.
-        y: u8,
+        y: u16,
         /// Packet size in flits.
         flits: u8,
     },

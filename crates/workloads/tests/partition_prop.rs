@@ -154,6 +154,79 @@ fn fast_path_equals_interpreter_on_random_meshes() {
     );
 }
 
+#[test]
+fn clustered_fabrics_agree_across_steppers_on_random_shapes() {
+    // Hierarchical generalisation: a random cluster grid (including the
+    // degenerate 1×1), a random bank count and random chaos must leave
+    // the three steppers bit-identical. Cluster-aligned partition cuts,
+    // crossbar fault sites and per-bank DRAM streams are all in play.
+    let inputs = (
+        (
+            gen::usize_in(1..3),          // clusters_x
+            gen::usize_in(1..3),          // clusters_y
+            gen::u64_any(),               // bank count draw (folded mod clusters)
+            gen::choice(vec![2usize, 4]), // threads (decoupling runs in pairs)
+            gen::usize_in(1..3),          // MAPLE engines
+        ),
+        (
+            gen::usize_in(1..5),  // partitions
+            gen::usize_in(1..4),  // workers
+            gen::usize_in(8..20), // rows
+            gen::u64_any(),       // data seed
+            gen::bools(),         // chaos on/off
+            gen::u64_any(),       // chaos seed
+        ),
+    );
+    let cfg = Config::new("clustered_fabrics_agree_across_steppers_on_random_shapes").with_cases(10);
+    check(&cfg, &inputs, |&(
+        (cx, cy, bank_draw, threads, maples),
+        (parts, workers, rows, data_seed, chaos, chaos_seed),
+    )| {
+        let clusters = cx * cy;
+        let banks = 1 + (bank_draw as usize) % clusters;
+        // 9 tiles per cluster holds the worst 1×1 packing
+        // (4 cores + 1 bank + 2 engines) with room to spare.
+        let shape = maple_soc::ClusterConfig::new(9, cx as u16, cy as u16).with_l2_banks(banks);
+        let a = uniform_sparse(rows, 2 * 1024, 5, data_seed);
+        let x = dense_vector(2 * 1024, data_seed ^ 0x51);
+        let inst = Spmv { a, x };
+        let plane = chaos.then(|| random_plane(chaos_seed));
+        let tune = |c: SocConfig| {
+            let c = c.with_maples(maples).with_clusters(shape);
+            match plane.clone() {
+                Some(p) => c.with_fault_plane(p),
+                None => c,
+            }
+        };
+        let (part_stats, part_sys) = inst.run_observed(Variant::MapleDecoupled, threads, |c| {
+            tune(c).with_partitions(parts).with_partition_workers(workers)
+        });
+        let (seq_stats, seq_sys) = inst.run_observed(Variant::MapleDecoupled, threads, tune);
+        let dense_stats = inst.run_tuned(Variant::MapleDecoupled, threads, |c| {
+            tune(c).with_dense_stepper()
+        });
+        maple_testkit::tk_assert_eq!(
+            part_stats,
+            seq_stats,
+            "clusters={cx}x{cy} banks={banks} threads={threads} maples={maples} \
+             partitions={parts} workers={workers} chaos={chaos}: partitioned stats diverged"
+        );
+        maple_testkit::tk_assert_eq!(
+            seq_stats,
+            dense_stats,
+            "clusters={cx}x{cy} banks={banks} threads={threads} maples={maples} \
+             chaos={chaos}: skipping diverged from dense"
+        );
+        maple_testkit::tk_assert_eq!(
+            part_sys.metrics_snapshot().to_json().render(),
+            seq_sys.metrics_snapshot().to_json().render(),
+            "clusters={cx}x{cy} banks={banks} partitions={parts} workers={workers} \
+             chaos={chaos}: metrics JSON diverged"
+        );
+        Ok(())
+    });
+}
+
 /// A consumer with nothing to consume: parks forever, so the run ends in
 /// a structured hang diagnosis (or, under chaos, possibly a watchdog
 /// retirement) — the outcome shape the property below pins.

@@ -388,6 +388,207 @@ fn fast_path_traced_streams_identical() {
     );
 }
 
+/// Wraps a flat configuration in the degenerate hierarchy: one cluster
+/// sized exactly to the existing mesh, so the clustered configuration
+/// surface is exercised while the simulation must stay byte-identical.
+fn one_cluster(c: maple_soc::SocConfig) -> maple_soc::SocConfig {
+    let tiles = usize::from(c.mesh_width) * usize::from(c.mesh_height);
+    c.with_clusters(maple_soc::ClusterConfig::new(tiles, 1, 1))
+}
+
+/// A genuinely hierarchical fabric: 2×2 clusters of 3×3 tiles with one
+/// L2 bank per cluster — crossbars, inter-cluster mesh legs and address
+/// interleaving all live.
+fn clustered(c: maple_soc::SocConfig) -> maple_soc::SocConfig {
+    c.with_clusters(maple_soc::ClusterConfig::new(9, 2, 2))
+}
+
+#[test]
+fn one_cluster_grid_bit_identical_to_flat() {
+    // The tentpole's anchor: a hierarchical configuration with a single
+    // cluster shaped like the flat mesh must be byte-identical to the
+    // flat configuration — run stats AND the full metrics snapshot —
+    // across every oracle variant, all three steppers, and the fast path.
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED ^ 0x61);
+    let x = dense_vector(4 * 1024, SEED ^ 0x611);
+    let inst = Spmv { a, x };
+    let grid: Vec<(Variant, usize)> = ORACLE_VARIANTS
+        .iter()
+        .copied()
+        .chain([(Variant::MapleLima, 1), (Variant::SwPrefetch { dist: 4 }, 1)])
+        .collect();
+    for (v, t) in grid {
+        let (flat_stats, flat_sys) = inst.run_observed(v, t, |c| c);
+        let flat_json = flat_sys.metrics_snapshot().to_json().render();
+        let (one_stats, one_sys) = inst.run_observed(v, t, one_cluster);
+        assert_eq!(
+            one_stats, flat_stats,
+            "spmv {v:?} x{t}: 1-cluster hierarchy diverged from flat mesh\n\
+             replay: SEED={SEED:#x}"
+        );
+        assert_eq!(
+            one_sys.metrics_snapshot().to_json().render(),
+            flat_json,
+            "spmv {v:?} x{t}: 1-cluster metrics JSON diverged from flat"
+        );
+    }
+    // The remaining steppers and dispatch modes, on the richest variant.
+    let (flat_stats, flat_sys) = inst.run_observed(Variant::MapleDecoupled, 2, |c| c);
+    let flat_json = flat_sys.metrics_snapshot().to_json().render();
+    let modes: Vec<(&str, RunStats, String)> = vec![
+        {
+            let (s, sys) =
+                inst.run_observed(Variant::MapleDecoupled, 2, |c| one_cluster(c).with_dense_stepper());
+            ("dense", s, sys.metrics_snapshot().to_json().render())
+        },
+        {
+            let (s, sys) = inst.run_observed(Variant::MapleDecoupled, 2, |c| {
+                one_cluster(c).with_partitions(3).with_partition_workers(2)
+            });
+            ("partitioned", s, sys.metrics_snapshot().to_json().render())
+        },
+    ];
+    for (mode, s, json) in modes {
+        assert_eq!(
+            s, flat_stats,
+            "1-cluster {mode} stepper diverged from flat skipping\nreplay: SEED={SEED:#x}"
+        );
+        assert_eq!(json, flat_json, "1-cluster {mode} metrics JSON diverged");
+    }
+    let fast_flat = inst.run_tuned(Variant::MapleDecoupled, 2, |c| c.with_fast_path(true));
+    let fast_one = inst.run_tuned(Variant::MapleDecoupled, 2, |c| one_cluster(c).with_fast_path(true));
+    assert_eq!(
+        fast_one, fast_flat,
+        "1-cluster fast path diverged from flat fast path\nreplay: SEED={SEED:#x}"
+    );
+}
+
+#[test]
+fn one_cluster_chaos_bit_identical_to_flat() {
+    // Chaos replay must not notice the degenerate hierarchy either: the
+    // flat fabric arm draws the same RNG streams in the same order, and
+    // bank 0 draws the historical DRAM stream.
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED ^ 0x6C);
+    let x = dense_vector(4 * 1024, SEED ^ 0x6C1);
+    let inst = Spmv { a, x };
+    for schedule in chaos_schedules(SEED ^ 0xC10) {
+        let plane = schedule.plane.clone();
+        let flat = inst.run_tuned(Variant::MapleDecoupled, 2, {
+            let p = plane.clone();
+            move |c| c.with_fault_plane(p)
+        });
+        let one = inst.run_tuned(Variant::MapleDecoupled, 2, {
+            let p = plane.clone();
+            move |c| one_cluster(c).with_fault_plane(p)
+        });
+        let one_part = inst.run_tuned(Variant::MapleDecoupled, 2, move |c| {
+            one_cluster(c)
+                .with_fault_plane(plane)
+                .with_partitions(4)
+                .with_partition_workers(4)
+        });
+        assert_eq!(
+            one, flat,
+            "chaos schedule `{}`: 1-cluster diverged from flat\nreplay: SEED={SEED:#x}",
+            schedule.name
+        );
+        assert_eq!(
+            one_part, flat,
+            "chaos schedule `{}`: partitioned 1-cluster diverged from flat\nreplay: SEED={SEED:#x}",
+            schedule.name
+        );
+    }
+}
+
+#[test]
+fn clustered_fabric_steppers_bit_exact() {
+    // A live hierarchy (crossbars, mesh legs, 4 L2 banks): no flat
+    // reference exists, so the contract is stepper-invariance — dense,
+    // skipping and partitioned (cluster-aligned cuts) must agree on run
+    // stats and the full metrics snapshot, banked/global namespaces
+    // included.
+    let a = uniform_sparse(32, 4 * 1024, 5, SEED ^ 0x71);
+    let x = dense_vector(4 * 1024, SEED ^ 0x711);
+    let inst = Spmv { a, x };
+    let tune = |c: maple_soc::SocConfig| clustered(c.with_maples(2));
+    let (dense_stats, dense_sys) =
+        inst.run_observed(Variant::MapleDecoupled, 4, |c| tune(c).with_dense_stepper());
+    assert!(dense_stats.verified, "clustered run computed a wrong result");
+    let dense_json = dense_sys.metrics_snapshot().to_json().render();
+    let (skip_stats, skip_sys) = inst.run_observed(Variant::MapleDecoupled, 4, tune);
+    assert_eq!(
+        skip_stats, dense_stats,
+        "clustered: skipping diverged from dense\nreplay: SEED={SEED:#x}"
+    );
+    assert_eq!(
+        skip_sys.metrics_snapshot().to_json().render(),
+        dense_json,
+        "clustered: skipping metrics JSON diverged"
+    );
+    for parts in [2usize, 4] {
+        for workers in [1usize, 4] {
+            let (stats, sys) = inst.run_observed(Variant::MapleDecoupled, 4, move |c| {
+                tune(c).with_partitions(parts).with_partition_workers(workers)
+            });
+            assert_eq!(
+                stats, dense_stats,
+                "clustered partitions={parts} workers={workers}: diverged from dense\n\
+                 replay: SEED={SEED:#x}"
+            );
+            assert_eq!(
+                sys.metrics_snapshot().to_json().render(),
+                dense_json,
+                "clustered partitions={parts} workers={workers}: metrics JSON diverged"
+            );
+        }
+    }
+    // Fast path on the clustered fabric, dispatch counters stripped.
+    let fast = inst.run_tuned(Variant::MapleDecoupled, 4, |c| tune(c).with_fast_path(true));
+    assert_eq!(
+        fast, dense_stats,
+        "clustered fast path diverged from interpreter dense\nreplay: SEED={SEED:#x}"
+    );
+}
+
+#[test]
+fn clustered_chaos_grid_bit_exact() {
+    // Chaos on the live hierarchy, including mid-run engine resets whose
+    // commands cross cluster-aligned partition cuts into the pool of a
+    // different cluster, plus the crossbar's own fault sites.
+    let a = uniform_sparse(24, 4 * 1024, 5, SEED ^ 0x7C);
+    let x = dense_vector(4 * 1024, SEED ^ 0x7C1);
+    let inst = Spmv { a, x };
+    let tune = |c: maple_soc::SocConfig| clustered(c.with_maples(2));
+    for schedule in chaos_schedules(SEED ^ 0xC1A) {
+        let plane = schedule.plane.clone();
+        let dense = inst.run_tuned(Variant::MapleDecoupled, 2, {
+            let p = plane.clone();
+            move |c| tune(c).with_fault_plane(p).with_dense_stepper()
+        });
+        let skip = inst.run_tuned(Variant::MapleDecoupled, 2, {
+            let p = plane.clone();
+            move |c| tune(c).with_fault_plane(p)
+        });
+        let part = inst.run_tuned(Variant::MapleDecoupled, 2, move |c| {
+            tune(c)
+                .with_fault_plane(plane)
+                .with_partitions(4)
+                .with_partition_workers(4)
+        });
+        assert_eq!(
+            skip, dense,
+            "clustered chaos `{}`: skipping diverged from dense\nreplay: SEED={SEED:#x}",
+            schedule.name
+        );
+        assert_eq!(
+            part, dense,
+            "clustered chaos `{}`: partitioned diverged from dense\nreplay: SEED={SEED:#x}",
+            schedule.name
+        );
+        assert_eq!(skip.hung, dense.hung);
+    }
+}
+
 #[test]
 fn traced_run_streams_identical() {
     // Tracing observes individual cycles, so it is the sharpest probe of
